@@ -1,0 +1,21 @@
+"""Ablation — recovery-tuple cache capacity (§3.1/§4.3).
+
+Under the most-recent-loss policy a single cache entry suffices: results
+must be insensitive to capacity (the paper singles this out as the
+policy's implementation advantage)."""
+
+from repro.harness.experiments import ablation_cache_capacity
+from repro.harness.report import render_ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_cache_capacity(benchmark, ctx, save_report):
+    rows = run_once(benchmark, ablation_cache_capacity, ctx)
+    base = rows[0]
+    for row in rows[1:]:
+        assert abs(row.avg_normalized_latency - base.avg_normalized_latency) < 0.05
+        assert abs(row.expedited_success_pct - base.expedited_success_pct) < 2.0
+    save_report(
+        "ablation_cache", render_ablation(rows, "Ablation — cache capacity")
+    )

@@ -1,0 +1,21 @@
+"""Ablation — link propagation delay 10/20/30 ms (§4.3).
+
+The paper ran all three and found "very similar" results; in normalized
+(RTT) units the latencies must be insensitive to the absolute delay."""
+
+from repro.harness.experiments import ablation_link_delay
+from repro.harness.report import render_ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_link_delay(benchmark, ctx, save_report):
+    rows = run_once(benchmark, ablation_link_delay, ctx)
+    for protocol in ("srm", "cesrm"):
+        values = [
+            r.avg_normalized_latency for r in rows if r.label.startswith(protocol)
+        ]
+        assert len(values) == 3
+        spread = (max(values) - min(values)) / max(values)
+        assert spread < 0.35, (protocol, values)
+    save_report("ablation_delay", render_ablation(rows, "Ablation — link delay"))

@@ -1,0 +1,30 @@
+"""Ablation — lossy recovery traffic (§4.3).
+
+The paper simulated recovery-packet drops at the estimated link rates in
+[10]: latencies grow slightly and CESRM's advantage persists."""
+
+from repro.harness.experiments import ablation_lossy_recovery
+from repro.harness.report import render_ablation
+from repro.metrics.stats import mean
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_lossy_recovery(benchmark, ctx, save_report):
+    rows = run_once(benchmark, ablation_lossy_recovery, ctx)
+
+    def avg(protocol, label):
+        values = [
+            r.avg_normalized_latency
+            for r in rows
+            if r.label == f"{protocol}/{label}"
+        ]
+        return mean(values)
+
+    # CESRM keeps winning with lossy recovery
+    assert avg("cesrm", "lossy") < avg("srm", "lossy")
+    # and lossy latencies are not better than lossless ones
+    assert avg("srm", "lossy") >= avg("srm", "lossless") * 0.9
+    save_report(
+        "ablation_lossy", render_ablation(rows, "Ablation — lossy recovery")
+    )

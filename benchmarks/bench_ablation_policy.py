@@ -1,0 +1,24 @@
+"""Ablation — expeditious-pair selection policy (§3.2, §4.3).
+
+The paper (citing the [10] trace analysis) uses most-recent-loss because
+loss location correlates most strongly with the most recent loss; this
+bench confirms most-recent is at least as good as most-frequent."""
+
+from repro.harness.experiments import ablation_policy
+from repro.harness.report import render_ablation
+from repro.metrics.stats import mean
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_policy(benchmark, ctx, save_report):
+    rows = run_once(benchmark, ablation_policy, ctx)
+    recent = [r for r in rows if r.label == "most-recent"]
+    frequent = [r for r in rows if r.label == "most-frequent"]
+    assert len(recent) == len(frequent) == 6
+    mean_recent = mean([r.avg_normalized_latency for r in recent])
+    mean_frequent = mean([r.avg_normalized_latency for r in frequent])
+    assert mean_recent <= mean_frequent * 1.05  # most-recent wins (or ties)
+    for row in rows:
+        assert row.unrecovered == 0
+    save_report("ablation_policy", render_ablation(rows, "Ablation — selection policy"))

@@ -1,0 +1,20 @@
+"""Ablation — REORDER-DELAY sweep (§3.2).
+
+The guard prevents spurious expedited requests under reordering; our
+replay has none, so latency should grow roughly linearly with the delay
+while success stays flat (Eq. (2): expedited = REORDER-DELAY + RTT)."""
+
+from repro.harness.experiments import ablation_reorder_delay
+from repro.harness.report import render_ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_reorder_delay(benchmark, ctx, save_report):
+    rows = run_once(benchmark, ablation_reorder_delay, ctx)
+    latencies = [r.avg_normalized_latency for r in rows]
+    assert latencies == sorted(latencies)  # monotone in the guard
+    assert latencies[-1] > latencies[0]
+    save_report(
+        "ablation_reorder", render_ablation(rows, "Ablation — REORDER-DELAY")
+    )

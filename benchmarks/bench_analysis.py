@@ -1,0 +1,23 @@
+"""§3.4 — the closed-form latency model against simulation.
+
+Eq. (1): first-round non-expedited ≈ 3.25 RTT for the paper's parameters;
+Eq. (2): expedited ≈ REORDER-DELAY + 1 RTT.  §4.4 observes SRM averages in
+[1.5, 3.25] RTT and expedited gaps in [1, 2.5] RTT."""
+
+from repro.harness.experiments import section_3_4
+from repro.harness.report import render_section_3_4
+
+from benchmarks.conftest import run_once
+
+
+def test_section_3_4(benchmark, ctx, save_report):
+    result = run_once(benchmark, section_3_4, ctx)
+    assert result.model_non_expedited_rtt == 3.25
+    assert result.model_expedited_rtt == 1.0
+    lo, hi = result.srm_band
+    for trace, avg in result.simulated_srm_avg_rtt.items():
+        assert lo * 0.8 <= avg <= hi * 1.1, (trace, avg)
+    glo, ghi = result.gap_band
+    for trace, gap in result.simulated_gap_rtt.items():
+        assert glo * 0.6 <= gap <= ghi * 1.2, (trace, gap)
+    save_report("section34", render_section_3_4(result))

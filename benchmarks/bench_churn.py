@@ -1,0 +1,135 @@
+"""Membership churn (§3.3/§5): CESRM under replier crashes.
+
+The paper's robustness claim versus LMS-style router-assisted protocols:
+when previously chosen repliers leave or crash, CESRM "continues to
+recover packets in the interim" through SRM's fall-back, and its on-the-fly
+pair selection adapts.  This bench crashes the currently cached replier
+mid-run — twice — and checks recovery never stops and expedited recovery
+resumes after each adaptation.
+"""
+
+from repro.core.agent import CesrmAgent
+from repro.core.policies import make_policy
+from repro.harness.report import render_table
+from repro.metrics.collector import MetricsCollector
+from repro.net.network import Network
+from repro.net.packet import PacketKind
+from repro.net.topology import build_random_tree
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.srm.constants import SrmParams
+
+from benchmarks.conftest import run_once
+
+N_EVENTS = 60  # loss events, evenly spaced
+PERIOD = 0.5
+
+
+def _run_churn_scenario():
+    registry = RngRegistry(5)
+    tree = build_random_tree(10, 4, registry.stream("topology"))
+    sim = Simulator()
+    network = Network(sim, tree)
+    metrics = MetricsCollector()
+    agents = {
+        host: CesrmAgent(
+            sim=sim,
+            network=network,
+            host_id=host,
+            source=tree.source,
+            params=SrmParams(),
+            rng=registry.stream(f"agent:{host}"),
+            metrics=metrics,
+            policy=make_policy("most-recent"),
+        )
+        for host in tree.hosts
+    }
+    for index, host in enumerate(tree.hosts):
+        agents[host].start(session_offset=(index + 0.5) / (len(tree.hosts) + 1))
+
+    # every odd packet is dropped on one fixed interior link, chosen deep
+    # enough that nearby receivers (not the source) become the cached
+    # repliers — those are the members we can crash
+    candidates = [
+        (u, v)
+        for u, v in tree.links
+        if 2 <= len(tree.subtree_receivers(v)) <= len(tree.receivers) - 2
+    ]
+    victim_link = max(candidates, key=lambda link: tree.node_depth(link[1]))
+
+    def drop_fn(u, v, packet):
+        return (
+            packet.kind is PacketKind.DATA
+            and packet.seqno % 2 == 1
+            and (u, v) == victim_link
+        )
+
+    network.drop_fn = drop_fn
+    t0 = 3.25
+    source = agents[tree.source]
+    for seq in range(2 * N_EVENTS):
+        sim.schedule_at(t0 + seq * PERIOD / 2, source.send_data, seq)
+
+    # Crash whichever replier is cached at one third and two thirds of the
+    # run (dynamic: read it from a victim receiver's cache at crash time).
+    observer = next(
+        r for r in tree.receivers if r in tree.subtree_receivers(victim_link[1])
+    )
+
+    crash_log = []
+
+    def crash_current_replier():
+        cached = agents[observer].cache.most_recent()
+        if cached is None or cached.replier == tree.source:
+            return  # never crash the source (it must keep sending)
+        victim = cached.replier
+        if not agents[victim].failed:
+            agents[victim].fail()
+            crash_log.append((sim.now, victim))
+
+    end = t0 + N_EVENTS * PERIOD
+    sim.schedule_at(t0 + (end - t0) / 3, crash_current_replier)
+    sim.schedule_at(t0 + 2 * (end - t0) / 3, crash_current_replier)
+    sim.run(until=end + 30.0)
+
+    live_receivers = [r for r in tree.receivers if not agents[r].failed]
+    unrecovered = sum(len(agents[r].unrecovered_losses()) for r in live_receivers)
+    recoveries = [
+        rec
+        for host in live_receivers
+        for rec in metrics.recoveries.get(host, [])
+    ]
+    expedited = sum(1 for rec in recoveries if rec.expedited)
+    return {
+        "crashes": crash_log,
+        "unrecovered": unrecovered,
+        "recoveries": len(recoveries),
+        "expedited": expedited,
+        "erqst": metrics.total_sends(PacketKind.ERQST),
+        "erepl": metrics.total_sends(PacketKind.EREPL),
+        "last_expedited_seq": max(
+            (rec.seq for rec in recoveries if rec.expedited), default=-1
+        ),
+    }
+
+
+def test_churn_robustness(benchmark, save_report):
+    result = run_once(benchmark, _run_churn_scenario)
+    # recovery never stops, no matter who crashed
+    assert result["unrecovered"] == 0
+    assert result["recoveries"] > 0
+    # expedited recovery resumed after the crashes (late packets expedited)
+    assert result["last_expedited_seq"] > 2 * N_EVENTS * 2 // 3
+    # and a solid share of recoveries stayed expedited despite the churn
+    assert result["expedited"] / result["recoveries"] > 0.4
+    rows = [
+        ("crashes", "; ".join(f"{v}@{t:.1f}s" for t, v in result["crashes"])),
+        ("recoveries (live hosts)", result["recoveries"]),
+        ("expedited recoveries", result["expedited"]),
+        ("unrecovered", result["unrecovered"]),
+        ("expedited requests/replies", f"{result['erqst']}/{result['erepl']}"),
+    ]
+    save_report(
+        "churn",
+        "§3.3/§5 — churn robustness\n" + render_table(["metric", "value"], rows),
+    )

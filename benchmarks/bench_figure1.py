@@ -1,0 +1,20 @@
+"""Figure 1 — per-receiver average normalized recovery time, SRM vs CESRM,
+over the six typical traces.  Paper shape: CESRM 40–70% below SRM."""
+
+from repro.harness.experiments import figure1
+from repro.harness.report import render_figure1
+
+from benchmarks.conftest import run_once
+
+
+def test_figure1(benchmark, ctx, save_report):
+    results = run_once(benchmark, figure1, ctx)
+    assert len(results) == 6
+    for res in results:
+        assert res.reduction > 0.15, res.trace  # CESRM clearly wins
+        for value in res.srm:
+            # 0.0 marks a receiver with no recoveries in the truncation
+            assert 0.0 <= value < 4.0  # the §3.4 ballpark in RTTs
+    mean_reduction = sum(r.reduction for r in results) / len(results)
+    assert 0.30 <= mean_reduction <= 0.75  # paper: ~50% on average
+    save_report("figure1", render_figure1(results))

@@ -1,0 +1,17 @@
+"""Figure 2 — per-receiver difference between expedited and non-expedited
+average normalized recovery times under CESRM.  Paper shape: 1–2.5 RTT."""
+
+from repro.harness.experiments import figure2
+from repro.harness.report import render_figure2
+
+from benchmarks.conftest import run_once
+
+
+def test_figure2(benchmark, ctx, save_report):
+    results = run_once(benchmark, figure2, ctx)
+    assert len(results) == 6
+    for res in results:
+        defined = [g for g in res.gaps if g is not None]
+        assert defined, res.trace
+        assert 0.5 <= res.mean_gap <= 2.8, res.trace
+    save_report("figure2", render_figure2(results))

@@ -1,0 +1,20 @@
+"""Figure 3 — request packets sent per host: SRM multicast requests vs
+CESRM multicast (fall-back) + unicast (expedited) requests."""
+
+from repro.harness.experiments import figure3
+from repro.harness.report import render_packet_counts
+
+from benchmarks.conftest import run_once
+
+
+def test_figure3(benchmark, ctx, save_report):
+    results = run_once(benchmark, figure3, ctx)
+    assert len(results) == 6
+    for res in results:
+        # the source ("receiver 0") never requests
+        assert res.srm[0] == 0 and res.cesrm_multicast[0] == 0
+        # CESRM multicasts far fewer requests than SRM; a large share of
+        # its requests are cheap unicasts (§4.4)
+        assert sum(res.cesrm_multicast) < sum(res.srm), res.trace
+        assert sum(res.cesrm_expedited) > 0, res.trace
+    save_report("figure3", render_packet_counts(results, "Figure 3 (requests)"))

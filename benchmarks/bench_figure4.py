@@ -1,0 +1,16 @@
+"""Figure 4 — reply packets sent per host: SRM replies vs CESRM fall-back
++ expedited replies.  Paper shape: CESRM sends substantially fewer."""
+
+from repro.harness.experiments import figure4
+from repro.harness.report import render_packet_counts
+
+from benchmarks.conftest import run_once
+
+
+def test_figure4(benchmark, ctx, save_report):
+    results = run_once(benchmark, figure4, ctx)
+    assert len(results) == 6
+    for res in results:
+        assert res.cesrm_total < res.srm_total, res.trace
+        assert sum(res.cesrm_expedited) > 0, res.trace
+    save_report("figure4", render_packet_counts(results, "Figure 4 (replies)"))

@@ -1,0 +1,29 @@
+"""Figure 5 — (a) percentage of successful expedited recoveries and
+(b) CESRM transmission overhead as a percentage of SRM's, all 14 traces.
+
+Paper shapes: success >70% on all traces (>80% on all but two);
+retransmission overhead <80% of SRM's everywhere (<60% on 10 of 14);
+control overhead <52% on all but one trace."""
+
+from repro.harness.experiments import figure5
+from repro.harness.report import render_figure5
+
+from benchmarks.conftest import run_once
+
+
+def test_figure5(benchmark, ctx, save_report):
+    rows = run_once(benchmark, figure5, ctx)
+    assert len(rows) == 14
+    below_70 = [r.trace for r in rows if r.expedited_success_pct < 70.0]
+    assert len(below_70) <= 2, below_70
+    for row in rows:
+        assert row.expedited_success_pct > 55.0, row.trace
+        assert row.retransmissions_pct < 85.0, row.trace
+        assert row.total_pct < 100.0, row.trace
+    control_above_60 = [
+        r.trace
+        for r in rows
+        if r.multicast_control_pct + r.unicast_control_pct > 60.0
+    ]
+    assert len(control_above_60) <= 2, control_above_60
+    save_report("figure5", render_figure5(rows))

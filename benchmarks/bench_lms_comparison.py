@@ -1,0 +1,174 @@
+"""CESRM vs LMS (§3.3, §5): localization parity, churn asymmetry.
+
+Two head-to-head comparisons on identical workloads:
+
+1. **static membership** — both router-assisted schemes localize repairs
+   (subcast, no multicast recovery floods), with LMS's pre-designated
+   repliers answering NACKs immediately;
+2. **churn** — the designated replier crashes and router state stays
+   stale: LMS recovery behind that router stalls until re-designation,
+   while CESRM (same crash) keeps recovering through the SRM fall-back
+   and adapts its cached pairs on the fly.
+"""
+
+from repro.core.agent import CesrmAgent
+from repro.core.policies import make_policy
+from repro.harness.report import render_table
+from repro.lms.agent import LmsAgent
+from repro.lms.fabric import LmsFabric
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import mean
+from repro.net.network import Network
+from repro.net.packet import PacketKind
+from repro.net.topology import build_random_tree
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.srm.constants import SrmParams
+
+from benchmarks.conftest import run_once
+
+N_PACKETS = 400
+PERIOD = 0.15
+
+
+def _build(protocol: str, seed: int = 3):
+    registry = RngRegistry(seed)
+    tree = build_random_tree(12, 5, registry.stream("topology"))
+    sim = Simulator()
+    network = Network(sim, tree)
+    metrics = MetricsCollector()
+    fabric = LmsFabric(tree)
+    agents = {}
+    for host in tree.hosts:
+        if protocol == "lms":
+            agents[host] = LmsAgent(
+                sim=sim,
+                network=network,
+                host_id=host,
+                source=tree.source,
+                params=SrmParams(),
+                rng=registry.stream(f"agent:{host}"),
+                metrics=metrics,
+                fabric=fabric,
+            )
+        else:
+            agents[host] = CesrmAgent(
+                sim=sim,
+                network=network,
+                host_id=host,
+                source=tree.source,
+                params=SrmParams(),
+                rng=registry.stream(f"agent:{host}"),
+                metrics=metrics,
+                policy=make_policy("most-recent"),
+            )
+    for index, host in enumerate(tree.hosts):
+        agents[host].start(session_offset=(index + 0.5) / (len(tree.hosts) + 1))
+    return sim, network, tree, agents, metrics, fabric
+
+
+def _victim_subtree(tree):
+    """A deep interior link whose subtree has >= 2 receivers."""
+    candidates = [
+        (u, v)
+        for u, v in tree.links
+        if 2 <= len(tree.subtree_receivers(v)) <= len(tree.receivers) - 2
+    ]
+    return max(candidates, key=lambda link: tree.node_depth(link[1]))
+
+
+def _run(protocol: str, churn: bool):
+    sim, network, tree, agents, metrics, fabric = _build(protocol)
+    link = _victim_subtree(tree)
+
+    def drop_fn(u, v, packet):
+        return (
+            packet.kind is PacketKind.DATA
+            and packet.seqno % 4 == 1
+            and (u, v) == link
+        )
+
+    network.drop_fn = drop_fn
+    t0 = 3.25
+    for seq in range(N_PACKETS):
+        sim.schedule_at(t0 + seq * PERIOD, agents[tree.source].send_data, seq)
+
+    crashed = []
+    if churn:
+
+        def crash():
+            # crash the subtree's designated replier (what LMS NACKs hit)
+            victim = fabric.replier_of(link[1])
+            if victim != tree.source and not agents[victim].failed:
+                agents[victim].fail()
+                fabric.fail_host(victim)  # router tables stay stale
+                crashed.append(victim)
+
+        sim.schedule_at(t0 + N_PACKETS * PERIOD / 3, crash)
+
+    sim.run(until=t0 + N_PACKETS * PERIOD + 40.0)
+    live = [r for r in tree.receivers if not agents[r].failed]
+    unrecovered = sum(len(agents[r].unrecovered_losses()) for r in live)
+    latencies = []
+    for receiver in live:
+        rtt = 2 * tree.hop_distance(tree.source, receiver) * 0.020
+        latencies.extend(
+            rec.latency / rtt for rec in metrics.recoveries.get(receiver, [])
+        )
+    return {
+        "unrecovered": unrecovered,
+        "latency": mean(latencies),
+        "recoveries": len(latencies),
+        "crashed": crashed,
+        "retx_units": network.crossings.retransmission_crossings,
+        "mcast_recovery": metrics.total_sends(PacketKind.RQST)
+        + metrics.total_sends(PacketKind.REPL),
+    }
+
+
+def _compare():
+    out = {}
+    for protocol in ("cesrm", "lms"):
+        for churn in (False, True):
+            out[(protocol, churn)] = _run(protocol, churn)
+    return out
+
+
+def test_cesrm_vs_lms(benchmark, save_report):
+    results = run_once(benchmark, _compare)
+
+    static_lms = results[("lms", False)]
+    static_ces = results[("cesrm", False)]
+    # static membership: both fully reliable; LMS has no multicast
+    # recovery traffic at all (fully localized by construction)
+    assert static_lms["unrecovered"] == 0
+    assert static_ces["unrecovered"] == 0
+    assert static_lms["mcast_recovery"] == 0
+
+    churn_lms = results[("lms", True)]
+    churn_ces = results[("cesrm", True)]
+    assert churn_lms["crashed"] and churn_ces["crashed"]
+    # the paper's robustness asymmetry:
+    assert churn_ces["unrecovered"] == 0  # CESRM: SRM fall-back saves it
+    assert churn_lms["unrecovered"] > 0  # LMS: stale router state stalls
+
+    rows = [
+        (
+            protocol,
+            "churn" if churn else "static",
+            r["recoveries"],
+            r["unrecovered"],
+            round(r["latency"], 2),
+            r["retx_units"],
+            ",".join(r["crashed"]) or "-",
+        )
+        for (protocol, churn), r in sorted(results.items())
+    ]
+    save_report(
+        "lms_comparison",
+        "§3.3/§5 — CESRM vs LMS\n"
+        + render_table(
+            ["Protocol", "Mode", "Recoveries", "STALLED", "AvgLat(RTT)", "RetxUnits", "Crashed"],
+            rows,
+        ),
+    )

@@ -1,0 +1,110 @@
+"""Microbenchmarks of the substrates (real multi-round timings).
+
+These are conventional pytest-benchmark measurements of the hot paths:
+event-loop throughput, multicast flooding, trace synthesis, link-rate
+inference, and pattern attribution.
+"""
+
+import random
+
+from repro.net.network import Network
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import build_random_tree
+from repro.sim.engine import Simulator
+from repro.traces.attribution import Attributor
+from repro.traces.inference import estimate_link_rates_subtree
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-fire cost of the core event loop (10k events)."""
+
+    def run():
+        sim = Simulator()
+        sink = []
+        for i in range(10_000):
+            sim.schedule(i * 0.001, sink.append, i)
+        sim.run()
+        return len(sink)
+
+    assert benchmark(run) == 10_000
+
+
+def test_multicast_flood_throughput(benchmark):
+    """Cost of flooding 100 control packets over a 20-receiver tree."""
+    tree = build_random_tree(20, 5, random.Random(0))
+
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    def run():
+        sim = Simulator()
+        network = Network(sim, tree)
+        for host in tree.hosts:
+            network.attach(host, Sink())
+        for seq in range(100):
+            network.multicast(
+                Packet(
+                    kind=PacketKind.SESSION,
+                    origin=tree.receivers[seq % len(tree.receivers)],
+                    source="s",
+                    seqno=seq,
+                    size_bytes=0,
+                )
+            )
+        sim.run()
+        return network.crossings.total()
+
+    crossings = benchmark(run)
+    assert crossings == 100 * len(tree.links)
+
+
+def test_trace_synthesis_throughput(benchmark):
+    """Synthesis of a 10k-packet, 10-receiver calibrated trace."""
+    params = SynthesisParams(
+        name="micro",
+        n_receivers=10,
+        tree_depth=5,
+        period=0.08,
+        n_packets=10_000,
+        target_losses=5_000,
+    )
+    synthetic = benchmark(synthesize_trace, params, 3)
+    assert synthetic.trace.total_losses > 0
+
+
+def test_inference_throughput(benchmark):
+    """Subtree-method link-rate estimation over a 10k-packet trace."""
+    params = SynthesisParams(
+        name="micro-inf",
+        n_receivers=10,
+        tree_depth=5,
+        period=0.08,
+        n_packets=10_000,
+        target_losses=5_000,
+    )
+    synthetic = synthesize_trace(params, seed=4)
+    rates = benchmark(estimate_link_rates_subtree, synthetic.trace)
+    assert rates
+
+
+def test_attribution_throughput(benchmark):
+    """Whole-trace pattern attribution (DP + per-pattern cache)."""
+    params = SynthesisParams(
+        name="micro-att",
+        n_receivers=10,
+        tree_depth=5,
+        period=0.08,
+        n_packets=10_000,
+        target_losses=5_000,
+    )
+    synthetic = synthesize_trace(params, seed=5)
+    rates = estimate_link_rates_subtree(synthetic.trace)
+
+    def run():
+        attributor = Attributor(synthetic.trace.tree, rates)
+        return attributor.attribute_trace(synthetic.trace)
+
+    result = benchmark(run)
+    assert len(result.combos) == len(synthetic.trace.lossy_packets())

@@ -1,0 +1,77 @@
+"""The reliable-multicast design space: all architectures head-to-head.
+
+The paper's §1 frames CESRM within three recovery architectures: SRM's
+receiver-driven multicast suppression [4,5], router-assisted designated
+repliers [8,12,13] (LMS here), and sender/DR-driven ACK hierarchies [9,14]
+(RMTP here).  This bench runs all of them — plus adaptive SRM and
+router-assisted CESRM — on identical traces and pins the expected corner
+of the design space for each:
+
+* SRM: slowest repairs *and* the most retransmission traffic (suppression
+  leaves duplicates);
+* CESRM: far faster than SRM at a fraction of the traffic, no
+  infrastructure needed;
+* LMS: fastest (immediate NACKs to pre-designated repliers) and fully
+  localized, but needs router support;
+* RMTP: latency bounded by the status cycle (slowest), overhead
+  structurally minimal (unicast, deduplicated).
+"""
+
+from repro.harness.report import render_table
+from repro.metrics.stats import mean
+from repro.traces.yajnik import FIGURE_TRACES
+
+from benchmarks.conftest import run_once
+
+PROTOCOLS = ("srm", "srm-adaptive", "cesrm", "cesrm-router", "lms", "rmtp")
+
+
+def _family(ctx):
+    rows = []
+    for name in FIGURE_TRACES[:3]:
+        for protocol in PROTOCOLS:
+            result = ctx.run(name, protocol)
+            latency = mean(
+                [result.avg_normalized_recovery_time(r) for r in result.receivers]
+            )
+            rows.append(
+                (
+                    name,
+                    protocol,
+                    round(latency, 2),
+                    result.overhead.retransmissions,
+                    result.overhead.multicast_control,
+                    result.overhead.unicast_control,
+                    result.unrecovered_losses,
+                )
+            )
+    return rows
+
+
+def test_protocol_family(benchmark, ctx, save_report):
+    rows = run_once(benchmark, _family, ctx)
+    by_key = {(r[0], r[1]): r for r in rows}
+    for name in FIGURE_TRACES[:3]:
+        latency = {p: by_key[(name, p)][2] for p in PROTOCOLS}
+        retx = {p: by_key[(name, p)][3] for p in PROTOCOLS}
+        unrec = {p: by_key[(name, p)][6] for p in PROTOCOLS}
+        assert all(v == 0 for v in unrec.values()), (name, unrec)
+        # the latency ordering of the design space
+        assert latency["cesrm"] < latency["srm"], name
+        assert latency["lms"] < latency["cesrm"], name
+        assert latency["rmtp"] > latency["cesrm"], name
+        # the traffic ordering
+        assert retx["cesrm"] < retx["srm"], name
+        assert retx["lms"] < retx["srm"], name
+        assert retx["rmtp"] < retx["srm"], name
+        # SRM is the only one multicasting requests
+        assert by_key[(name, "lms")][4] == 0
+        assert by_key[(name, "rmtp")][4] == 0
+    save_report(
+        "protocol_family",
+        "The reliable-multicast design space\n"
+        + render_table(
+            ["Trace", "Protocol", "AvgLat(RTT)", "Retx", "McastCtl", "UcastCtl", "Unrec"],
+            rows,
+        ),
+    )

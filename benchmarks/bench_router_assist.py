@@ -1,0 +1,26 @@
+"""§3.3 — router-assisted CESRM: turning-point subcast localizes expedited
+replies, cutting their exposure versus plain CESRM at equal reliability."""
+
+from repro.harness.experiments import router_assist_comparison
+from repro.harness.report import render_router_assist
+
+from benchmarks.conftest import run_once
+
+
+def test_router_assist(benchmark, ctx, save_report):
+    rows = run_once(benchmark, router_assist_comparison, ctx)
+    by_trace = {}
+    for row in rows:
+        by_trace.setdefault(row.trace, {})[row.protocol] = row
+    total_plain = 0
+    total_assisted = 0
+    for trace, pair in by_trace.items():
+        total_plain += pair["cesrm"].expedited_reply_crossings
+        total_assisted += pair["cesrm-router"].expedited_reply_crossings
+        # latency parity: localization must not slow recovery down
+        assert (
+            pair["cesrm-router"].avg_normalized_latency
+            <= pair["cesrm"].avg_normalized_latency * 1.15
+        ), trace
+    assert total_assisted < total_plain  # exposure strictly reduced
+    save_report("router_assist", render_router_assist(rows))

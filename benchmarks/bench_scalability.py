@@ -1,0 +1,70 @@
+"""Scalability sweep: group size 8 → 40 receivers.
+
+Not a paper figure, but the property both protocols are named for.  The
+expected shapes: recovery stays fully reliable at every size; CESRM's
+latency advantage persists as the group grows; and SRM's retransmission
+overhead grows faster than CESRM's (suppression gets harder with more
+receivers while one expedited reply always suffices).
+"""
+
+from repro.harness.config import SimulationConfig
+from repro.harness.report import render_table
+from repro.harness.runner import run_trace
+from repro.metrics.stats import mean
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+from benchmarks.conftest import run_once
+
+GROUP_SIZES = (8, 16, 24, 40)
+N_PACKETS = 1200
+
+
+def _sweep():
+    rows = []
+    config = SimulationConfig()
+    for size in GROUP_SIZES:
+        params = SynthesisParams(
+            name=f"scale-{size}",
+            n_receivers=size,
+            tree_depth=5,
+            period=0.08,
+            n_packets=N_PACKETS,
+            # keep the per-receiver loss rate constant across sizes
+            target_losses=round(0.05 * size * N_PACKETS),
+        )
+        synthetic = synthesize_trace(params, seed=2)
+        for protocol in ("srm", "cesrm"):
+            result = run_trace(synthetic, protocol, config)
+            latency = mean(
+                [result.avg_normalized_recovery_time(r) for r in result.receivers]
+            )
+            rows.append(
+                (
+                    size,
+                    protocol,
+                    round(latency, 2),
+                    result.overhead.retransmissions,
+                    result.overhead.control,
+                    result.unrecovered_losses,
+                )
+            )
+    return rows
+
+
+def test_scalability(benchmark, save_report):
+    rows = run_once(benchmark, _sweep)
+    by_key = {(r[0], r[1]): r for r in rows}
+    for size in GROUP_SIZES:
+        srm = by_key[(size, "srm")]
+        cesrm = by_key[(size, "cesrm")]
+        assert srm[5] == cesrm[5] == 0, size  # reliable at every size
+        assert cesrm[2] < srm[2], size  # CESRM faster at every size
+        assert cesrm[3] < srm[3], size  # and cheaper in repair traffic
+    save_report(
+        "scalability",
+        "Scalability — group-size sweep\n"
+        + render_table(
+            ["Receivers", "Protocol", "AvgLat(RTT)", "RetxUnits", "CtlUnits", "Unrec"],
+            rows,
+        ),
+    )

@@ -1,0 +1,16 @@
+"""Table 1 — synthesize all 14 traces and report target vs realized loss
+volumes (targets scale with the replay truncation)."""
+
+from repro.harness.experiments import table1
+from repro.harness.report import render_table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, ctx, save_report):
+    rows = run_once(benchmark, table1, ctx)
+    assert len(rows) == 14
+    for row in rows:
+        assert row.synthesized_losses > 0
+        assert row.loss_error < 0.35
+    save_report("table1", render_table1(rows))

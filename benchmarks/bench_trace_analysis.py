@@ -1,0 +1,48 @@
+"""Loss-locality analysis of the 14 traces (the [10] study the paper cites).
+
+Verifies, per trace, the measured properties CESRM's design is built on:
+temporal locality (conditional loss rate ≫ marginal), burstiness, spatial
+concentration on a few links, and most-recent-loss predictive accuracy —
+§4.3's justification for the most-recent selection policy.
+"""
+
+from repro.harness.report import render_table
+from repro.traces.analysis import analyze_trace
+from repro.traces.yajnik import YAJNIK_TRACES
+
+from benchmarks.conftest import run_once
+
+
+def _analyze_all(ctx):
+    rows = []
+    for meta in YAJNIK_TRACES:
+        report = analyze_trace(ctx.trace(meta.name))
+        rows.append(
+            (
+                meta.name,
+                round(report.mean_burst_length, 2),
+                round(report.mean_locality_gain, 1),
+                round(report.concentration.top_fraction(3), 2),
+                round(report.policies.most_recent_accuracy, 2),
+                round(report.policies.most_frequent_accuracy, 2),
+            )
+        )
+    return rows
+
+
+def test_trace_locality_analysis(benchmark, ctx, save_report):
+    rows = run_once(benchmark, _analyze_all, ctx)
+    assert len(rows) == 14
+    for name, burst, gain, top3, recent, frequent in rows:
+        # temporal locality: bursts are real, conditional ≫ marginal
+        assert burst > 1.3, name
+        assert gain > 2.0, name
+        # spatial locality: the 3 lossiest links carry most loss events
+        assert top3 > 0.5, name
+        # the most-recent prediction lands well above chance
+        assert recent > 0.45, name
+    text = "[10]-style locality analysis\n" + render_table(
+        ["Trace", "MeanBurst", "CondGain", "Top3Links", "RecentAcc", "FreqAcc"],
+        rows,
+    )
+    save_report("trace_analysis", text)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Multi-source session: the shared-whiteboard scenario that motivated SRM.
+
+SRM (and therefore CESRM) is an *any-source* reliable multicast protocol:
+every participant can publish its own stream into the group, and every
+host keeps per-source reception state — and, in CESRM, per-source
+requestor/replier caches (§3.1).  This example runs a 10-receiver session
+where the root plus two receivers all publish streams under correlated
+bursty loss, and shows CESRM recovering all three streams with per-source
+expedited recovery.
+
+Run:  python examples/multi_source.py
+"""
+
+from repro import PacketKind, SimulationConfig
+from repro.core.agent import CesrmAgent
+from repro.core.policies import make_policy
+from repro.metrics.collector import MetricsCollector
+from repro.net.network import Network
+from repro.net.topology import build_random_tree
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.srm.constants import SrmParams
+from repro.traces.gilbert import GilbertModel
+
+N_PACKETS = 600
+PERIOD = 0.1
+SENDERS_EXTRA = ("r2", "r7")  # receivers that also publish streams
+
+
+def main() -> None:
+    registry = RngRegistry(11)
+    tree = build_random_tree(10, 4, registry.stream("topology"))
+    sim = Simulator()
+    network = Network(sim, tree)
+    metrics = MetricsCollector()
+    config = SimulationConfig()
+
+    agents = {
+        host: CesrmAgent(
+            sim=sim,
+            network=network,
+            host_id=host,
+            source=tree.source,
+            params=SrmParams(),
+            rng=registry.stream(f"agent:{host}"),
+            metrics=metrics,
+            policy=make_policy("most-recent"),
+        )
+        for host in tree.hosts
+    }
+    for index, host in enumerate(tree.hosts):
+        agents[host].start(session_offset=(index + 0.5) / (len(tree.hosts) + 1))
+
+    # Bursty losses on two tail links, applied to every stream crossing them.
+    lossy_links = [link for link in tree.links if link[1] in tree.receivers][:2]
+    processes = {
+        link: GilbertModel.from_rate_and_burst(0.08, 6.0) for link in lossy_links
+    }
+    drop_rng = registry.stream("drops")
+    drop_state: dict[tuple, bytes] = {
+        link: model.sample(3 * N_PACKETS, drop_rng)
+        for link, model in processes.items()
+    }
+    counters: dict[tuple, int] = {link: 0 for link in lossy_links}
+
+    def drop_fn(u, v, packet) -> bool:
+        if packet.kind is not PacketKind.DATA or (u, v) not in drop_state:
+            return False
+        index = counters[(u, v)]
+        counters[(u, v)] += 1
+        return bool(drop_state[(u, v)][index % (3 * N_PACKETS)])
+
+    network.drop_fn = drop_fn
+
+    senders = [tree.source, *SENDERS_EXTRA]
+    t0 = config.transmission_start
+    for offset, sender in enumerate(senders):
+        for seq in range(N_PACKETS):
+            sim.schedule_at(
+                t0 + seq * PERIOD + offset * PERIOD / len(senders),
+                agents[sender].send_data,
+                seq,
+            )
+
+    sim.run(until=t0 + N_PACKETS * PERIOD + 30.0)
+
+    print(f"session: {len(tree.receivers)} receivers, "
+          f"{len(senders)} concurrent senders x {N_PACKETS} packets\n")
+    print(f"{'stream':>8s} {'losses':>8s} {'recovered':>10s} {'warm caches':>12s}")
+    for sender in senders:
+        losses = 0
+        for host, agent in agents.items():
+            if host == sender:
+                continue
+            losses += len(agent.source_state(sender).stream.ever_lost)
+            assert agent.unrecovered_losses(sender) == [], (host, sender)
+        warm_caches = sum(
+            1 for agent in agents.values() if len(agent.cache_for(sender))
+        )
+        print(f"{sender:>8s} {losses:8d} {'all':>10s} {warm_caches:12d}")
+
+    total_erqst = metrics.total_sends(PacketKind.ERQST)
+    total_erepl = metrics.total_sends(PacketKind.EREPL)
+    print(f"\nexpedited requests {total_erqst}, replies {total_erepl} "
+          f"(success {100 * total_erepl / max(total_erqst, 1):.0f}%)")
+    print("every stream fully recovered at every host — per-source caches "
+          "let CESRM expedite all three streams independently.")
+
+
+if __name__ == "__main__":
+    main()

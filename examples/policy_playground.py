@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Selection policies and cache sizing (§3.2), including a custom policy.
+
+CESRM leaves the expeditious-pair selection policy open.  This example:
+
+1. compares the paper's two built-in policies (most-recent-loss vs
+   most-frequent-loss) over several traces;
+2. sweeps the cache capacity (most-recent needs just one entry);
+3. implements a *custom* policy through the public
+   :class:`repro.SelectionPolicy` interface and registers it with
+   :func:`repro.register_policy` — picking the cached pair with the
+   smallest recovery delay — to show how downstream users experiment.
+
+Run:  python examples/policy_playground.py
+"""
+
+from repro import (
+    RecoveryPairCache,
+    RecoveryTuple,
+    SelectionPolicy,
+    SimulationConfig,
+    register_policy,
+    run_trace,
+    synthesize_trace,
+    trace_meta,
+)
+from repro.metrics.stats import mean
+
+TRACES = ("RFV960419", "WRN951128", "WRN951216")
+MAX_PACKETS = 3000
+
+
+@register_policy
+class FastestPairPolicy(SelectionPolicy):
+    """Pick the cached tuple with the minimum §3.1 recovery delay."""
+
+    name = "fastest-pair"
+
+    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+        entries = cache.entries()
+        if not entries:
+            return None
+        return min(entries, key=lambda t: t.recovery_delay)
+
+
+def summarize(res) -> tuple[float, float]:
+    lat = mean([res.avg_normalized_recovery_time(r) for r in res.receivers])
+    return lat, 100.0 * res.metrics.expedited_success_rate
+
+
+def main() -> None:
+    print("— policy comparison (cache capacity 16) —")
+    print(f"{'trace':12s}{'policy':16s}{'avg lat (RTT)':>14s}{'exp succ':>10s}")
+    for name in TRACES:
+        synthetic = synthesize_trace(trace_meta(name), seed=0, max_packets=MAX_PACKETS)
+        for policy in ("most-recent", "most-frequent", "fastest-pair"):
+            cfg = SimulationConfig(max_packets=MAX_PACKETS, policy=policy)
+            lat, succ = summarize(run_trace(synthetic, "cesrm", cfg))
+            print(f"{name:12s}{policy:16s}{lat:14.2f}{succ:9.0f}%")
+
+    print("\n— cache capacity sweep (most-recent policy, WRN951128) —")
+    synthetic = synthesize_trace(
+        trace_meta("WRN951128"), seed=0, max_packets=MAX_PACKETS
+    )
+    for capacity in (1, 4, 16, 64):
+        cfg = SimulationConfig(max_packets=MAX_PACKETS, cache_capacity=capacity)
+        lat, succ = summarize(run_trace(synthetic, "cesrm", cfg))
+        print(f"  capacity {capacity:3d}: avg lat {lat:5.2f} RTT, "
+              f"expedited success {succ:.0f}%")
+    print("\nThe most-recent policy is insensitive to capacity — exactly why "
+          "the paper calls out its single-entry implementation (§4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: SRM vs CESRM on a small bursty-loss multicast session.
+
+Builds a balanced 8-receiver multicast tree, synthesizes a short bursty
+transmission over it, runs both protocols on identical losses, and prints
+the headline comparison: recovery latency (in receiver RTTs to the source)
+and recovery traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PacketKind, SimulationConfig, run_trace
+from repro.metrics.stats import mean
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+
+def main() -> None:
+    # A made-up session: 10 receivers behind a 4-deep tree, 2500 packets at
+    # 25 pps, with ~8% of receiver-packets lost in bursts.
+    params = SynthesisParams(
+        name="quickstart",
+        n_receivers=10,
+        tree_depth=4,
+        period=0.040,
+        n_packets=2500,
+        target_losses=2000,
+    )
+    synthetic = synthesize_trace(params, seed=7)
+    trace = synthetic.trace
+    print(f"trace: {trace.n_packets} packets, {trace.total_losses} losses "
+          f"across {len(trace.tree.receivers)} receivers\n")
+
+    config = SimulationConfig(seed=7)
+    results = {p: run_trace(synthetic, p, config) for p in ("srm", "cesrm")}
+
+    print(f"{'':14s}{'avg recovery':>14s}{'repair traffic':>16s}{'requests':>10s}")
+    print(f"{'':14s}{'(RTTs)':>14s}{'(link units)':>16s}{'(pkts)':>10s}")
+    for protocol, res in results.items():
+        latency = mean([res.avg_normalized_recovery_time(r) for r in res.receivers])
+        requests = res.metrics.total_sends(PacketKind.RQST) + res.metrics.total_sends(
+            PacketKind.ERQST
+        )
+        print(
+            f"{protocol:14s}{latency:14.2f}{res.overhead.retransmissions:16d}"
+            f"{requests:10d}"
+        )
+
+    srm, cesrm = results["srm"], results["cesrm"]
+    lat_srm = mean([srm.avg_normalized_recovery_time(r) for r in srm.receivers])
+    lat_ces = mean([cesrm.avg_normalized_recovery_time(r) for r in cesrm.receivers])
+    print(
+        f"\nCESRM recovers {100 * (1 - lat_ces / lat_srm):.0f}% faster, "
+        f"with {100 * cesrm.metrics.expedited_success_rate:.0f}% of expedited "
+        f"recoveries succeeding."
+    )
+    assert srm.unrecovered_losses == 0 and cesrm.unrecovered_losses == 0, (
+        "both protocols are fully reliable"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Router-assisted CESRM (§3.3): localized expedited recovery.
+
+Plain CESRM multicasts every expedited reply to the whole group — every
+receiver pays for every repair.  With two light router capabilities
+(turning-point annotation + subcast), expedited replies reach only the
+subtree where the loss happened.  This example measures the *exposure*
+difference: link-crossing units consumed by expedited replies, and how many
+uninvolved receivers see each repair.
+
+Run:  python examples/router_assisted.py
+"""
+
+from repro import SimulationConfig, run_trace, synthesize_trace, trace_meta
+from repro.metrics.stats import mean
+
+TRACES = ("RFV960419", "WRN951113", "WRN951211")
+MAX_PACKETS = 3000
+
+
+def main() -> None:
+    config = SimulationConfig(max_packets=MAX_PACKETS)
+    print(f"{'trace':12s}{'protocol':15s}{'EREPL crossings':>16s}"
+          f"{'retx units':>12s}{'avg lat (RTT)':>15s}")
+    for name in TRACES:
+        synthetic = synthesize_trace(trace_meta(name), seed=0, max_packets=MAX_PACKETS)
+        baseline_erepl = None
+        for protocol in ("cesrm", "cesrm-router"):
+            res = run_trace(synthetic, protocol, config)
+            erepl = sum(
+                n for (kind, _), n in res.crossings_snapshot.items() if kind == "erepl"
+            )
+            lat = mean([res.avg_normalized_recovery_time(r) for r in res.receivers])
+            marker = ""
+            if protocol == "cesrm":
+                baseline_erepl = erepl
+            elif baseline_erepl:
+                marker = f"  ({100 * erepl / baseline_erepl:.0f}% of plain CESRM)"
+            print(f"{name:12s}{protocol:15s}{erepl:16d}"
+                  f"{res.overhead.retransmissions:12d}{lat:15.2f}{marker}")
+            assert res.unrecovered_losses == 0, "reliability must be preserved"
+    print("\nSubcast keeps repairs inside the loss subtree: same latency and "
+          "reliability, a fraction of the exposure — with zero per-router "
+          "replier state (unlike LMS).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""CESRM — the Caching-Enhanced Scalable Reliable Multicast protocol (§3).
+
+CESRM augments SRM with a *caching-based expedited recovery scheme* that
+runs in parallel with SRM's scheme.  Each receiver caches the optimal
+requestor/replier pair that carried out the recovery of its recent losses
+(:mod:`repro.core.cache`); on a new loss a selection policy
+(:mod:`repro.core.policies`) picks the *expeditious* pair, and if the host
+itself is the expeditious requestor it unicasts an undelayed expedited
+request to the expeditious replier, which immediately multicasts the repair
+(:mod:`repro.core.agent`).  When routers offer turning-point annotation and
+subcast, expedited replies become localized (:mod:`repro.core.router_assist`,
+§3.3).
+"""
+
+from repro.core.cache import RecoveryTuple, RecoveryPairCache
+from repro.core.policies import (
+    SelectionPolicy,
+    MostRecentLossPolicy,
+    MostFrequentLossPolicy,
+    make_policy,
+    register_policy,
+    policy_names,
+    POLICY_NAMES,
+)
+from repro.core.agent import CesrmAgent
+from repro.core.router_assist import RouterAssistedCesrmAgent
+
+__all__ = [
+    "RecoveryTuple",
+    "RecoveryPairCache",
+    "SelectionPolicy",
+    "MostRecentLossPolicy",
+    "MostFrequentLossPolicy",
+    "make_policy",
+    "register_policy",
+    "policy_names",
+    "POLICY_NAMES",
+    "CesrmAgent",
+    "RouterAssistedCesrmAgent",
+]

@@ -1,0 +1,241 @@
+"""The CESRM protocol agent (§3).
+
+:class:`CesrmAgent` extends :class:`repro.srm.agent.SrmAgent` — SRM's whole
+recovery scheme keeps running — and adds the caching-based expedited
+recovery scheme:
+
+* every repair reply for a packet this host lost updates the **per-source**
+  optimal requestor/replier cache (§3.1: "each host maintains a collection
+  of per-source requestor/replier caches, one for each source");
+* on detecting a loss, the selection policy proposes an expeditious pair
+  ``⟨q, r⟩`` from the lost packet's source's cache; if this host *is* ``q``,
+  it schedules an expedited request ``REORDER-DELAY`` in the future
+  (cancelled if the packet shows up meanwhile) and then unicasts it
+  straight to ``r`` (§3.2);
+* a host receiving an expedited request immediately multicasts an
+  expedited reply, provided it has the packet and no reply for it is
+  scheduled or pending (§3.2);
+* expedited replies travel the multicast tree like ordinary replies, so
+  they repair co-losers and suppress SRM's scheduled requests/replies —
+  and when the expedited path fails (replier shares the loss), SRM's
+  scheme is already running as the fall-back.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.policies import SelectionPolicy
+from repro.metrics.collector import MetricsCollector
+from repro.net.network import Network
+from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.srm.agent import SrmAgent
+from repro.srm.constants import SrmParams
+from repro.srm.state import ReplyState, RequestState
+
+
+class CesrmAgent(SrmAgent):
+    """A CESRM endpoint: SRM plus caching-based expedited recovery.
+
+    Parameters (beyond :class:`~repro.srm.agent.SrmAgent`'s)
+    ----------------------------------------------------------
+    policy:
+        The expeditious-pair selection policy (§3.2).
+    cache_capacity:
+        Number of recovery tuples kept per source (§3.1); the paper's
+        most-recent-loss policy needs only 1, larger caches feed the
+        most-frequent-loss policy and the ablations.
+    reorder_delay:
+        The REORDER-DELAY guard between detecting a loss and unicasting
+        the expedited request (§3.2).  The paper's simulations use 0 since
+        the replayed traces are reorder-free.
+    """
+
+    protocol_name = "cesrm"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host_id: str,
+        source: str,
+        params: SrmParams,
+        rng: random.Random,
+        metrics: MetricsCollector,
+        policy: SelectionPolicy,
+        cache_capacity: int = 16,
+        reorder_delay: float = 0.0,
+        session_period: float = 1.0,
+        detect_on_request: bool = True,
+    ) -> None:
+        super().__init__(
+            sim=sim,
+            network=network,
+            host_id=host_id,
+            source=source,
+            params=params,
+            rng=rng,
+            metrics=metrics,
+            session_period=session_period,
+            detect_on_request=detect_on_request,
+        )
+        if reorder_delay < 0:
+            raise ValueError(f"reorder_delay must be >= 0, got {reorder_delay!r}")
+        self.policy = policy
+        self.cache_capacity = cache_capacity
+        self.reorder_delay = reorder_delay
+        #: per-source optimal requestor/replier caches (§3.1).
+        self.caches: dict[str, RecoveryPairCache] = {}
+        #: (source, seq) -> (timer, chosen tuple) for pending expedited requests.
+        self._expedited: dict[tuple[str, int], tuple[Timer, RecoveryTuple]] = {}
+        self.expedited_scheduled = 0
+        self.expedited_cancelled = 0
+        # Expedited-replier diagnostics: why expedited requests to this
+        # host did or did not produce an expedited reply.
+        self.erqst_received = 0
+        self.erqst_answered = 0
+        self.erqst_shared_loss = 0
+        self.erqst_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # Per-source caches
+    # ------------------------------------------------------------------
+    def cache_for(self, source: str) -> RecoveryPairCache:
+        """The recovery-tuple cache for ``source`` (created on demand)."""
+        cache = self.caches.get(source)
+        if cache is None:
+            cache = RecoveryPairCache(self.cache_capacity)
+            self.caches[source] = cache
+        return cache
+
+    @property
+    def cache(self) -> RecoveryPairCache:
+        """The primary source's cache (single-source convenience)."""
+        return self.cache_for(self.primary_source)
+
+    # ------------------------------------------------------------------
+    # Hook: loss detected -> maybe act as expeditious requestor (§3.2)
+    # ------------------------------------------------------------------
+    def _after_loss_detected(self, src: str, seq: int, state: RequestState) -> None:
+        choice = self.policy.select(self.cache_for(src))
+        if choice is None or choice.requestor != self.host_id:
+            return  # someone else is the expeditious requestor (or no cache)
+        if choice.replier == self.host_id:
+            return  # degenerate tuple; cannot ask ourselves
+        timer = Timer(self.sim, self._expedited_timer_fired, src, seq)
+        self._expedited[(src, seq)] = (timer, choice)
+        timer.start(self.reorder_delay)
+        self.expedited_scheduled += 1
+
+    def _expedited_timer_fired(self, src: str, seq: int) -> None:
+        entry = self._expedited.pop((src, seq), None)
+        if entry is None:  # pragma: no cover - timers cancelled on removal
+            return
+        _, choice = entry
+        if self.source_state(src).stream.has(seq):
+            return  # arrived during REORDER-DELAY (reordering guard)
+        packet = Packet(
+            kind=PacketKind.ERQST,
+            origin=self.host_id,
+            source=src,
+            seqno=seq,
+            size_bytes=CONTROL_BYTES,
+            requestor=self.host_id,
+            requestor_dist=self._distance_to(src),
+            replier=choice.replier,
+            turning_point=choice.turning_point,
+        )
+        self.metrics.on_send(self.host_id, packet)
+        self.net.unicast(choice.replier, packet)
+
+    # ------------------------------------------------------------------
+    # Hook: expedited request arrives -> immediate expedited reply (§3.2)
+    # ------------------------------------------------------------------
+    def _on_expedited_request(self, packet: Packet) -> None:
+        src = packet.source
+        seq = packet.seqno
+        self.erqst_received += 1
+        state = self.source_state(src)
+        self._advance_stream(src, seq - 1)
+        if not state.stream.has(seq):
+            # The expeditious replier shared the loss: the expedited
+            # recovery fails and SRM remains the fall-back.  Hearing the
+            # request still reveals the packet exists.
+            self.erqst_shared_loss += 1
+            if (
+                src != self.host_id
+                and seq not in state.request_states
+                and self.detect_on_request
+            ):
+                self._detect_loss(seq, initial_backoff=1, src=src)
+            return
+        reply_state = state.reply_states.get(seq)
+        if reply_state is not None and (
+            reply_state.scheduled() or reply_state.pending(self.sim.now)
+        ):
+            self.erqst_suppressed += 1
+            return  # a reply is scheduled or pending — §3.2's proviso
+        self.erqst_answered += 1
+        requestor = packet.requestor or packet.origin
+        distance = self.distances.get_or(requestor, self.params.default_distance)
+        reply = Packet(
+            kind=PacketKind.EREPL,
+            origin=self.host_id,
+            source=src,
+            seqno=seq,
+            size_bytes=PAYLOAD_BYTES,
+            requestor=requestor,
+            requestor_dist=packet.requestor_dist,
+            replier=self.host_id,
+            replier_dist=distance,
+        )
+        self.metrics.on_send(self.host_id, reply)
+        self._send_expedited_reply(reply, packet)
+        if reply_state is None:
+            reply_state = ReplyState()
+            state.reply_states[seq] = reply_state
+        reply_state.replies_sent += 1
+        reply_state.hold_until = self.sim.now + self.params.reply_abstinence(distance)
+
+    def _send_expedited_reply(self, reply: Packet, request: Packet) -> None:
+        """Transmit an expedited reply; the router-assisted variant
+        overrides this to subcast from the turning point (§3.3)."""
+        self.net.multicast(reply)
+
+    # ------------------------------------------------------------------
+    # Hook: replies update the cache (§3.1)
+    # ------------------------------------------------------------------
+    def _on_reply_observed(self, packet: Packet) -> None:
+        src = packet.source
+        seq = packet.seqno
+        if seq not in self.source_state(src).stream.ever_lost:
+            return  # did not suffer this loss -> discard (§3.1)
+        if packet.requestor is None or packet.replier is None:
+            return  # unannotated reply (foreign/legacy); nothing to cache
+        self.cache_for(src).observe(self._tuple_from_reply(packet))
+
+    def _tuple_from_reply(self, packet: Packet) -> RecoveryTuple:
+        return RecoveryTuple(
+            seqno=packet.seqno,
+            requestor=packet.requestor,  # type: ignore[arg-type]
+            requestor_to_source=packet.requestor_dist,
+            replier=packet.replier,  # type: ignore[arg-type]
+            replier_to_requestor=packet.replier_dist,
+        )
+
+    # ------------------------------------------------------------------
+    # Hook: packet obtained -> cancel any pending expedited request
+    # ------------------------------------------------------------------
+    def _on_packet_obtained(self, src: str, seq: int) -> None:
+        entry = self._expedited.pop((src, seq), None)
+        if entry is not None:
+            entry[0].cancel()
+            self.expedited_cancelled += 1
+
+    def stop(self) -> None:
+        super().stop()
+        for timer, _ in self._expedited.values():
+            timer.cancel()

@@ -1,0 +1,112 @@
+"""Expeditious requestor/replier selection policies (§3.2).
+
+Given the cache of optimal recovery tuples, a policy picks the pair to
+carry out the expedited recovery of a new loss.  The paper defines two:
+
+* **most recent loss** — the optimal pair of the most recent packet the
+  host lost and has since recovered.  The paper's simulations use this one
+  (§4.3): loss location correlates most strongly with the most recent
+  loss, and a single-entry cache suffices.
+* **most frequent loss** — the pair appearing most frequently among the
+  cached tuples.
+
+The interface is open: "other more sophisticated policies … may indeed be
+more effective" (§3.2), so downstream users can implement
+:class:`SelectionPolicy` themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.cache import RecoveryPairCache, RecoveryTuple
+
+
+class SelectionPolicy(abc.ABC):
+    """Strategy for choosing the expeditious recovery pair."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+        """The expeditious recovery tuple, or None when the cache offers
+        no usable pair (then only SRM's scheme runs for this loss)."""
+
+
+class MostRecentLossPolicy(SelectionPolicy):
+    """§3.2's *most recent loss* policy (used by the paper's simulations)."""
+
+    name = "most-recent"
+
+    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+        return cache.most_recent()
+
+
+class MostFrequentLossPolicy(SelectionPolicy):
+    """§3.2's *most frequent loss* policy.
+
+    Among the pairs appearing most frequently in the cache, ties break
+    toward the pair whose most recent tuple is most recent; the tuple
+    returned is that pair's most recent cached tuple.
+    """
+
+    name = "most-frequent"
+
+    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+        entries = cache.entries()  # most recent first
+        if not entries:
+            return None
+        freq = cache.pair_frequencies()
+        best_pair = None
+        best_key = None
+        for rank, entry in enumerate(entries):
+            key = (freq[entry.pair], -rank)  # frequency, then recency
+            if best_key is None or key > best_key:
+                best_key = key
+                best_pair = entry.pair
+        for entry in entries:
+            if entry.pair == best_pair:
+                return entry
+        return None  # pragma: no cover - best_pair comes from entries
+
+
+#: Registry of policies by CLI/config name; extend via register_policy.
+_REGISTRY: dict[str, type[SelectionPolicy]] = {
+    MostRecentLossPolicy.name: MostRecentLossPolicy,
+    MostFrequentLossPolicy.name: MostFrequentLossPolicy,
+}
+
+#: The built-in policy names (a snapshot; see policy_names() for the live
+#: registry including user registrations).
+POLICY_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def register_policy(policy_cls: type[SelectionPolicy]) -> type[SelectionPolicy]:
+    """Register a custom policy class under its ``name`` so configs can
+    refer to it by string.  Usable as a class decorator::
+
+        @register_policy
+        class FastestPairPolicy(SelectionPolicy):
+            name = "fastest-pair"
+            ...
+    """
+    name = policy_cls.name
+    if not name or name == SelectionPolicy.name:
+        raise ValueError("policy classes must define a unique `name`")
+    _REGISTRY[name] = policy_cls
+    return policy_cls
+
+
+def policy_names() -> tuple[str, ...]:
+    """All currently registered policy names."""
+    return tuple(_REGISTRY)
+
+
+def make_policy(name: str) -> SelectionPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {policy_names()}"
+        ) from None

@@ -1,0 +1,23 @@
+"""Experiment harness: per-trace simulation runs and paper reproductions.
+
+* :mod:`repro.harness.config` — one immutable config for a run (§4.3's
+  simulation setup is the default).
+* :mod:`repro.harness.runner` — builds a simulation (tree, network,
+  agents, trace-driven loss injection) and runs it to completion.
+* :mod:`repro.harness.experiments` — drivers that regenerate every table
+  and figure of §4, plus the ablations DESIGN.md lists.
+* :mod:`repro.harness.analysis` — the §3.4 closed-form latency model.
+* :mod:`repro.harness.report` — ASCII rendering of tables and bar series.
+* :mod:`repro.harness.cli` — the ``cesrm`` command-line entry point.
+"""
+
+from repro.harness.config import SimulationConfig, PROTOCOLS
+from repro.harness.runner import RunResult, run_trace, build_simulation
+
+__all__ = [
+    "SimulationConfig",
+    "PROTOCOLS",
+    "RunResult",
+    "run_trace",
+    "build_simulation",
+]

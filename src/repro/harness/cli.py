@@ -1,0 +1,252 @@
+"""The ``cesrm`` command-line interface.
+
+Regenerate any of the paper's tables/figures, run the ablations, or run a
+single protocol/trace pair:
+
+.. code-block:: console
+
+    $ cesrm table1
+    $ cesrm figure1 --max-packets 5000
+    $ cesrm figure5 --full
+    $ cesrm run --trace WRN951113 --protocol cesrm
+    $ cesrm all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments as exp
+from repro.harness import report
+from repro.harness.config import PROTOCOLS
+from repro.metrics.stats import mean
+from repro.traces.yajnik import YAJNIK_TRACES
+
+COMMANDS = (
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "section34",
+    "ablations",
+    "router-assist",
+    "analyze",
+    "synth",
+    "run",
+    "timeline",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cesrm",
+        description="Reproduce the CESRM (DSN 2004) evaluation.",
+    )
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument(
+        "--max-packets",
+        type=int,
+        default=None,
+        help="replay length per trace (default: %(default)s -> harness default)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="replay full-length traces (slow; overrides --max-packets)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--trace",
+        default="WRN951113",
+        choices=[m.name for m in YAJNIK_TRACES],
+        help="trace for the `run` command",
+    )
+    parser.add_argument(
+        "--protocol",
+        default="cesrm",
+        choices=PROTOCOLS,
+        help="protocol for the `run` command",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output file for the `synth` command (default: <trace>.json)",
+    )
+    parser.add_argument(
+        "--all-traces",
+        action="store_true",
+        help="run figures 1-4 over all 14 traces (default: the paper's 6)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run with the repro.spec invariant monitor attached",
+    )
+    parser.add_argument(
+        "--receiver",
+        default=None,
+        help="receiver for the `timeline` command (default: worst-hit)",
+    )
+    return parser
+
+
+def _context(args: argparse.Namespace) -> exp.ExperimentContext:
+    if args.full:
+        max_packets: int | None | str = None
+    elif args.max_packets is not None:
+        max_packets = args.max_packets
+    else:
+        max_packets = "default"
+    ctx = exp.ExperimentContext(seed=args.seed, max_packets=max_packets)
+    if getattr(args, "verify", False):
+        ctx.config = ctx.config.with_(verify_period=0.05)
+    return ctx
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    ctx = _context(args)
+    out: list[str] = []
+
+    from repro.traces.yajnik import FIGURE_TRACES
+
+    figure_traces = (
+        tuple(m.name for m in YAJNIK_TRACES) if args.all_traces else FIGURE_TRACES
+    )
+    if args.command in ("table1", "all"):
+        out.append(report.render_table1(exp.table1(ctx)))
+    if args.command in ("figure1", "all"):
+        out.append(report.render_figure1(exp.figure1(ctx, traces=figure_traces)))
+    if args.command in ("figure2", "all"):
+        out.append(report.render_figure2(exp.figure2(ctx, traces=figure_traces)))
+    if args.command in ("figure3", "all"):
+        out.append(
+            report.render_packet_counts(
+                exp.figure3(ctx, traces=figure_traces), "Figure 3 (requests)"
+            )
+        )
+    if args.command in ("figure4", "all"):
+        out.append(
+            report.render_packet_counts(
+                exp.figure4(ctx, traces=figure_traces), "Figure 4 (replies)"
+            )
+        )
+    if args.command in ("figure5", "all"):
+        out.append(report.render_figure5(exp.figure5(ctx)))
+    if args.command in ("section34", "all"):
+        out.append(report.render_section_3_4(exp.section_3_4(ctx)))
+    if args.command in ("ablations", "all"):
+        out.append(report.render_ablation(exp.ablation_policy(ctx), "Ablation — selection policy"))
+        out.append(
+            report.render_ablation(
+                exp.ablation_cache_capacity(ctx), "Ablation — cache capacity"
+            )
+        )
+        out.append(
+            report.render_ablation(
+                exp.ablation_reorder_delay(ctx), "Ablation — REORDER-DELAY"
+            )
+        )
+        out.append(
+            report.render_ablation(
+                exp.ablation_lossy_recovery(ctx), "Ablation — lossy recovery"
+            )
+        )
+        out.append(
+            report.render_ablation(exp.ablation_link_delay(ctx), "Ablation — link delay")
+        )
+    if args.command in ("router-assist", "all"):
+        out.append(report.render_router_assist(exp.router_assist_comparison(ctx)))
+    if args.command in ("analyze", "all"):
+        out.append(_analyze(args, ctx))
+    if args.command == "synth":
+        out.append(_synth(args, ctx))
+    if args.command == "run":
+        out.append(_run_single(args, ctx))
+    if args.command == "timeline":
+        out.append(_timeline(args, ctx))
+
+    print("\n\n".join(out))
+    return 0
+
+
+def _analyze(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
+    """Render the [10]-style loss-locality analysis for every trace."""
+    from repro.harness.report import render_table
+    from repro.traces.analysis import analyze_trace
+
+    rows = []
+    for meta in YAJNIK_TRACES:
+        analysis = analyze_trace(ctx.trace(meta.name))
+        rows.append(
+            (
+                meta.name,
+                f"{analysis.mean_burst_length:.2f}",
+                f"{analysis.mean_locality_gain:.1f}x",
+                f"{100 * analysis.concentration.top_fraction(3):.0f}%",
+                f"{100 * analysis.policies.most_recent_accuracy:.0f}%",
+                f"{100 * analysis.policies.most_frequent_accuracy:.0f}%",
+            )
+        )
+    return "Loss-locality analysis ([10])\n" + render_table(
+        ["Trace", "MeanBurst", "CondGain", "Top3Links", "RecentAcc", "FreqAcc"],
+        rows,
+    )
+
+
+def _synth(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
+    """Synthesize one trace and write it to a JSON file."""
+    from repro.traces.io import save_trace
+
+    synthetic = ctx.trace(args.trace)
+    path = args.out or f"{args.trace.lower()}.json"
+    save_trace(synthetic.trace, path)
+    return (
+        f"wrote {path}: {synthetic.trace.n_packets} packets, "
+        f"{synthetic.trace.total_losses} losses, "
+        f"{len(synthetic.trace.tree.receivers)} receivers"
+    )
+
+
+def _timeline(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
+    """Render one receiver's per-packet recovery timeline."""
+    from repro.harness.report import render_recovery_timeline
+
+    result = ctx.run(args.trace, args.protocol)
+    receiver = args.receiver
+    if receiver is None:
+        receiver = max(
+            result.receivers,
+            key=lambda r: len(result.metrics.recoveries.get(r, [])),
+        )
+    return render_recovery_timeline(result, receiver, max_rows=30)
+
+
+def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
+    result = ctx.run(args.trace, args.protocol)
+    lat = mean([result.avg_normalized_recovery_time(r) for r in result.receivers])
+    lines = [
+        f"{args.protocol} on {args.trace}: {result.n_packets} packets, "
+        f"{result.total_losses} losses",
+        f"  recovered {result.recovered_losses}, unrecovered {result.unrecovered_losses}",
+        f"  avg normalized recovery time {lat:.2f} RTT",
+        f"  overhead: retx={result.overhead.retransmissions} units, "
+        f"mcast-ctl={result.overhead.multicast_control}, "
+        f"ucast-ctl={result.overhead.unicast_control}",
+        f"  events={result.events_processed}, wall={result.wall_time:.2f}s",
+    ]
+    if args.protocol != "srm":
+        lines.append(
+            f"  expedited: requests={result.metrics.expedited_requests_sent}, "
+            f"replies={result.metrics.expedited_replies_sent}, "
+            f"success={100 * result.metrics.expedited_success_rate:.0f}%"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Simulation configuration.
+
+Defaults reproduce §4.3's setup exactly: 1.5 Mbps links, 20 ms per-link
+delay, 1 KB payloads / 0 KB control packets, C1=C2=2, C3=1.5, D1=D2=1,
+D3=1.5, REORDER-DELAY = 0, 1 s session period, lossless session exchange
+and lossless recovery traffic, the most-recent-loss selection policy, and
+a data transmission start delayed until distance estimates have converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.srm.constants import SrmParams
+
+#: Protocol registry names accepted by the runner and the CLI.
+PROTOCOLS: tuple[str, ...] = (
+    "srm",
+    "srm-adaptive",
+    "cesrm",
+    "cesrm-router",
+    "lms",
+    "rmtp",
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one simulation run (immutable; see :meth:`with_`)."""
+
+    #: SRM scheduling constants (shared by CESRM's fall-back scheme).
+    params: SrmParams = field(default_factory=SrmParams)
+    #: One-way per-link propagation delay in seconds (§4.3 publishes 20 ms).
+    propagation_delay: float = 0.020
+    #: Per-link bandwidth (§4.3: 1.5 Mbps).
+    bandwidth_bps: float = 1.5e6
+    #: Session message period (§4.3: 1 s).
+    session_period: float = 1.0
+    #: CESRM's REORDER-DELAY (§4.3 uses 0: replay has no reordering).
+    reorder_delay: float = 0.0
+    #: Recovery-tuple cache capacity (most-recent-loss needs only 1).
+    cache_capacity: int = 16
+    #: Expeditious-pair selection policy name (see repro.core.policies).
+    policy: str = "most-recent"
+    #: Detect losses from foreign repair requests (ns-2 SRM behaviour).
+    detect_on_request: bool = True
+    #: Drop recovery packets at the trace's per-link rates (§4.3 keeps
+    #: recovery lossless by default; this is the lossy-recovery ablation).
+    lossy_recovery: bool = False
+    #: Session periods to wait before the data transmission starts, so
+    #: distance estimates converge first (§4.3).
+    warmup_periods: float = 3.0
+    #: Simulated seconds to keep running after the last data packet so
+    #: tail losses finish recovering.
+    drain_time: float = 30.0
+    #: Master seed for all protocol jitter in the run.
+    seed: int = 0
+    #: Replay only the first N packets of the trace (None = full trace).
+    max_packets: int | None = None
+    #: Attach a repro.spec.InvariantMonitor to the run: every protocol
+    #: invariant is checked at this cadence in simulated seconds (None
+    #: disables verification; checking costs simulation speed).
+    verify_period: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay <= 0:
+            raise ValueError("propagation_delay must be positive")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if self.session_period <= 0:
+            raise ValueError("session_period must be positive")
+        if self.reorder_delay < 0:
+            raise ValueError("reorder_delay must be non-negative")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.warmup_periods < 0:
+            raise ValueError("warmup_periods must be non-negative")
+        if self.drain_time < 0:
+            raise ValueError("drain_time must be non-negative")
+        if self.max_packets is not None and self.max_packets < 1:
+            raise ValueError("max_packets must be >= 1 when set")
+        if self.verify_period is not None and self.verify_period <= 0:
+            raise ValueError("verify_period must be positive when set")
+
+    @property
+    def transmission_start(self) -> float:
+        """When the source begins sending data (§4.3's delayed start)."""
+        return self.warmup_periods * self.session_period + 0.25
+
+    def with_(self, **changes: Any) -> "SimulationConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,312 @@
+"""Build and run one trace-driven simulation (§4.3).
+
+``run_trace`` reenacts a (synthetic) IP multicast transmission: the source
+multicasts packet ``i`` at ``t0 + i·period``; the network drops packet
+``i`` on exactly the links of the trace's link representation, reproducing
+the measured per-receiver loss pattern; agents at the source and receivers
+run SRM, CESRM, or router-assisted CESRM; recovery traffic is lossless by
+default (optionally Bernoulli-dropped at the per-link rates for the lossy
+ablation).  Session exchange is lossless and starts before the data so
+distances converge first.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.core.agent import CesrmAgent
+from repro.core.policies import make_policy
+from repro.core.router_assist import RouterAssistedCesrmAgent
+from repro.harness.config import PROTOCOLS, SimulationConfig
+from repro.lms.agent import LmsAgent
+from repro.lms.fabric import LmsFabric
+from repro.rmtp.agent import RmtpAgent
+from repro.rmtp.fabric import RmtpFabric
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.overhead import OverheadBreakdown, overhead_breakdown
+from repro.metrics.stats import mean
+from repro.net.network import Network
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import LinkId
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.spec.monitor import InvariantMonitor
+from repro.srm.adaptive import AdaptiveSrmAgent
+from repro.srm.agent import SrmAgent
+from repro.traces.model import SyntheticTrace
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    protocol: str
+    trace_name: str
+    config: SimulationConfig
+    receivers: tuple[str, ...]
+    source: str
+    metrics: MetricsCollector
+    overhead: OverheadBreakdown
+    crossings_snapshot: dict[tuple[str, str], int]
+    rtt_to_source: dict[str, float]
+    unrecovered: dict[str, list[int]] = field(default_factory=dict)
+    n_packets: int = 0
+    total_losses: int = 0
+    sim_time: float = 0.0
+    events_processed: int = 0
+    wall_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Figure-level derived quantities
+    # ------------------------------------------------------------------
+    def normalized_latencies(
+        self, receiver: str, expedited: bool | None = None
+    ) -> list[float]:
+        """Recovery latencies of ``receiver`` in units of its RTT estimate
+        to the source (the Figure 1/2 normalization)."""
+        rtt = self.rtt_to_source[receiver]
+        if rtt <= 0:
+            return []
+        return [
+            latency / rtt
+            for latency in self.metrics.recovery_latencies(receiver, expedited)
+        ]
+
+    def avg_normalized_recovery_time(
+        self, receiver: str, expedited: bool | None = None
+    ) -> float:
+        """Per-receiver average normalized recovery time (Figure 1)."""
+        return mean(self.normalized_latencies(receiver, expedited))
+
+    def expedited_gap(self, receiver: str) -> float | None:
+        """Figure 2: non-expedited minus expedited average normalized
+        recovery time at ``receiver`` (None when either side is empty)."""
+        expedited = self.normalized_latencies(receiver, expedited=True)
+        fallback = self.normalized_latencies(receiver, expedited=False)
+        if not expedited or not fallback:
+            return None
+        return mean(fallback) - mean(expedited)
+
+    def request_counts(self, host: str) -> dict[str, int]:
+        """Figure 3 bars: multicast vs expedited-unicast requests sent."""
+        return {
+            "multicast": self.metrics.sends_by_host_kind(host, PacketKind.RQST),
+            "unicast": self.metrics.sends_by_host_kind(host, PacketKind.ERQST),
+        }
+
+    def reply_counts(self, host: str) -> dict[str, int]:
+        """Figure 4 bars: fall-back vs expedited replies sent."""
+        return {
+            "multicast": self.metrics.sends_by_host_kind(host, PacketKind.REPL),
+            "expedited": self.metrics.sends_by_host_kind(host, PacketKind.EREPL),
+        }
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        """Source first (the paper's "receiver 0"), then the receivers."""
+        return (self.source, *self.receivers)
+
+    @property
+    def recovered_losses(self) -> int:
+        return sum(len(r) for r in self.metrics.recoveries.values())
+
+    @property
+    def unrecovered_losses(self) -> int:
+        return sum(len(v) for v in self.unrecovered.values())
+
+
+@dataclass
+class Simulation:
+    """A fully wired simulation, ready to run (exposed for tests)."""
+
+    sim: Simulator
+    network: Network
+    agents: dict[str, SrmAgent]
+    source_agent: SrmAgent
+    trace: SyntheticTrace
+    config: SimulationConfig
+    metrics: MetricsCollector
+    end_time: float
+    fabric: LmsFabric | RmtpFabric | None = None
+    monitor: InvariantMonitor | None = None
+
+
+_AGENT_CLASSES: dict[str, type[SrmAgent]] = {
+    "srm": SrmAgent,
+    "srm-adaptive": AdaptiveSrmAgent,
+    "cesrm": CesrmAgent,
+    "cesrm-router": RouterAssistedCesrmAgent,
+    "lms": LmsAgent,
+    "rmtp": RmtpAgent,
+}
+
+
+def build_simulation(
+    synthetic: SyntheticTrace,
+    protocol: str,
+    config: SimulationConfig,
+) -> Simulation:
+    """Wire up engine, network, loss injection, and agents for one run."""
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
+    if config.max_packets is not None:
+        synthetic = synthetic.truncated(config.max_packets)
+    trace = synthetic.trace
+    tree = trace.tree
+
+    sim = Simulator()
+    registry = RngRegistry(config.seed).fork(f"run:{protocol}:{trace.name}")
+    metrics = MetricsCollector()
+    network = Network(
+        sim,
+        tree,
+        propagation_delay=config.propagation_delay,
+        bandwidth_bps=config.bandwidth_bps,
+    )
+    network.drop_fn = _make_drop_fn(synthetic, config, registry)
+
+    agent_cls = _AGENT_CLASSES[protocol]
+    fabric: LmsFabric | RmtpFabric | None = None
+    if protocol == "lms":
+        fabric = LmsFabric(tree)
+    elif protocol == "rmtp":
+        fabric = RmtpFabric(tree)
+    agents: dict[str, SrmAgent] = {}
+    for host in tree.hosts:
+        kwargs: dict = dict(
+            sim=sim,
+            network=network,
+            host_id=host,
+            source=tree.source,
+            params=config.params,
+            rng=registry.stream(f"agent:{host}"),
+            metrics=metrics,
+            session_period=config.session_period,
+            detect_on_request=config.detect_on_request,
+        )
+        if issubclass(agent_cls, CesrmAgent):
+            kwargs.update(
+                policy=make_policy(config.policy),
+                cache_capacity=config.cache_capacity,
+                reorder_delay=config.reorder_delay,
+            )
+        if fabric is not None:
+            kwargs.update(fabric=fabric)
+        agents[host] = agent_cls(**kwargs)
+
+    # Stagger session starts across one period so they never synchronize.
+    hosts = tree.hosts
+    for index, host in enumerate(hosts):
+        offset = (index + 0.5) * config.session_period / (len(hosts) + 1)
+        agents[host].start(session_offset=offset)
+
+    # Schedule the whole data transmission.
+    t0 = config.transmission_start
+    source_agent = agents[tree.source]
+    for seq in range(trace.n_packets):
+        sim.schedule_at(t0 + seq * trace.period, source_agent.send_data, seq)
+
+    monitor = None
+    if config.verify_period is not None:
+        monitor = InvariantMonitor(sim, agents, period=config.verify_period)
+        monitor.start()
+
+    end_time = t0 + trace.n_packets * trace.period + config.drain_time
+    return Simulation(
+        sim=sim,
+        network=network,
+        agents=agents,
+        source_agent=source_agent,
+        trace=synthetic,
+        config=config,
+        metrics=metrics,
+        end_time=end_time,
+        fabric=fabric,
+        monitor=monitor,
+    )
+
+
+def run_trace(
+    synthetic: SyntheticTrace,
+    protocol: str,
+    config: SimulationConfig | None = None,
+) -> RunResult:
+    """Run one protocol over one trace and collect the paper's metrics."""
+    config = config or SimulationConfig()
+    wall_start = _time.perf_counter()
+    simulation = build_simulation(synthetic, protocol, config)
+    sim = simulation.sim
+    sim.run(until=simulation.end_time)
+    if simulation.monitor is not None:
+        simulation.monitor.check_now()  # final sweep at quiescence
+        simulation.monitor.stop()
+    for agent in simulation.agents.values():
+        agent.stop()
+
+    trace = simulation.trace.trace
+    metrics = simulation.metrics
+    for host, count in _finalize_unrecovered(simulation).items():
+        metrics.unrecovered[host] = count
+
+    rtts = {
+        host: agent.rtt_to_source()
+        for host, agent in simulation.agents.items()
+        if host != trace.tree.source
+    }
+    return RunResult(
+        protocol=protocol,
+        trace_name=trace.name,
+        config=config,
+        receivers=trace.tree.receivers,
+        source=trace.tree.source,
+        metrics=metrics,
+        overhead=overhead_breakdown(simulation.network.crossings),
+        crossings_snapshot=simulation.network.crossings.snapshot(),
+        rtt_to_source=rtts,
+        unrecovered={
+            host: agent.unrecovered_losses()
+            for host, agent in simulation.agents.items()
+            if agent.unrecovered_losses()
+        },
+        n_packets=trace.n_packets,
+        total_losses=trace.total_losses,
+        sim_time=sim.now,
+        events_processed=sim.events_processed,
+        wall_time=_time.perf_counter() - wall_start,
+    )
+
+
+def _finalize_unrecovered(simulation: Simulation) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for host, agent in simulation.agents.items():
+        pending = agent.unrecovered_losses()
+        if pending:
+            out[host] = len(pending)
+    return out
+
+
+def _make_drop_fn(
+    synthetic: SyntheticTrace,
+    config: SimulationConfig,
+    registry: RngRegistry,
+):
+    """Loss injection: data packets drop on exactly the trace's links;
+    recovery packets optionally drop at the per-link rates; session
+    messages are never dropped (§4.3)."""
+    combos = synthetic.link_combos
+    empty: frozenset[LinkId] = frozenset()
+    lossy = config.lossy_recovery
+    rates = synthetic.link_rates
+    recovery_rng = registry.stream("recovery-loss")
+
+    def drop(u: str, v: str, packet: Packet) -> bool:
+        kind = packet.kind
+        if kind is PacketKind.DATA:
+            return (u, v) in combos.get(packet.seqno, empty)
+        if kind is PacketKind.SESSION or not lossy:
+            return False
+        rate = rates.get((u, v)) or rates.get((v, u)) or 0.0
+        return rate > 0.0 and recovery_rng.random() < rate
+
+    return drop

@@ -1,0 +1,26 @@
+"""Run metrics: recovery latencies, packet counts, transmission overhead.
+
+Everything the paper's evaluation section reports is derived from three
+ingredients collected here:
+
+* per-loss recovery records (detection time → repair time, expedited or
+  not) — Figures 1 and 2;
+* per-host packet send counts by kind and cast — Figures 3, 4, and 5a;
+* per-link crossing counts by packet category (1 unit per link, §4.4) —
+  Figure 5b's transmission overhead.
+"""
+
+from repro.metrics.collector import MetricsCollector, RecoveryRecord
+from repro.metrics.stats import mean, median, percentile, safe_ratio
+from repro.metrics.overhead import OverheadBreakdown, overhead_breakdown
+
+__all__ = [
+    "MetricsCollector",
+    "RecoveryRecord",
+    "mean",
+    "median",
+    "percentile",
+    "safe_ratio",
+    "OverheadBreakdown",
+    "overhead_breakdown",
+]

@@ -1,0 +1,61 @@
+"""Transmission-overhead accounting (§4.4, Figure 5b).
+
+The paper charges **one unit per packet per tree link crossed** and splits
+the total into retransmissions (repair replies — payload-carrying) and
+control packets (repair requests), further distinguishing unicast from
+multicast control.  Session messages are identical under SRM and CESRM and
+are excluded from the recovery-overhead comparison, exactly as in the
+paper's Figure 5b categories ("Multicast Retransmissions", "CESRM Multicast
+Control Pkts", "CESRM Unicast Control Pkts").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.network import CrossingCounter
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Link-crossing cost units by recovery-traffic category."""
+
+    retransmissions: int
+    multicast_control: int
+    unicast_control: int
+
+    @property
+    def total(self) -> int:
+        return self.retransmissions + self.multicast_control + self.unicast_control
+
+    @property
+    def control(self) -> int:
+        return self.multicast_control + self.unicast_control
+
+    def as_percent_of(self, baseline: "OverheadBreakdown") -> dict[str, float]:
+        """Each category as a percentage of the *baseline total* — the
+        normalization Figure 5b uses (CESRM's stacked bars sum to the
+        percentage of SRM's total overhead)."""
+        base = baseline.total
+        if base == 0:
+            return {
+                "retransmissions": 0.0,
+                "multicast_control": 0.0,
+                "unicast_control": 0.0,
+                "total": 0.0,
+            }
+        return {
+            "retransmissions": 100.0 * self.retransmissions / base,
+            "multicast_control": 100.0 * self.multicast_control / base,
+            "unicast_control": 100.0 * self.unicast_control / base,
+            "total": 100.0 * self.total / base,
+        }
+
+
+def overhead_breakdown(crossings: CrossingCounter) -> OverheadBreakdown:
+    """Derive the Figure 5b categories from a run's link crossings."""
+    return OverheadBreakdown(
+        retransmissions=crossings.retransmission_crossings,
+        multicast_control=crossings.multicast_control_crossings,
+        unicast_control=crossings.unicast_control_crossings,
+    )

@@ -1,0 +1,48 @@
+"""Small statistics helpers used across the harness and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100), linear interpolation; 0.0 if empty."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    # a + f*(b-a) is exact when a == b (a*(1-f) + b*f can be off by 1 ulp)
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator`` with a default for a zero denominator."""
+    if denominator == 0:
+        return default
+    return numerator / denominator

@@ -1,0 +1,254 @@
+"""Packet delivery over the multicast tree.
+
+The network forwards packets hop-by-hop through the tree with per-direction
+FIFO queueing (:class:`~repro.net.link.LinkState`), applies an optional
+loss-injection hook on every directed hop, delivers packets to the agents
+attached at host nodes, and accounts one cost unit per link crossing — the
+transmission-overhead metric of §4.4.
+
+Three propagation modes exist, mirroring the paper:
+
+* ``multicast`` — flood of the shared tree from the sending host: every
+  node forwards to all neighbours except the one the packet arrived on.
+  This models SRM/CESRM's use of IP multicast where every request/reply
+  reaches the entire group.
+* ``unicast`` — along the unique tree path (CESRM's expedited requests).
+* ``subcast`` — downstream flood from a router (router-assisted CESRM,
+  §3.3), reaching only the subtree below the turning point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Protocol
+
+from repro.net.link import LinkState
+from repro.net.packet import Cast, Packet, PacketKind
+from repro.net.topology import MulticastTree, NodeKind
+from repro.sim.engine import Simulator
+
+#: Loss-injection hook: ``(from_node, to_node, packet) -> True`` to drop the
+#: packet on that directed hop.
+DropFn = Callable[[str, str, Packet], bool]
+
+
+class Agent(Protocol):
+    """What the network requires of an attached host agent."""
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class CrossingCounter:
+    """Counts link crossings per ``(kind, cast)`` — 1 unit per link (§4.4)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[tuple[PacketKind, Cast]] = Counter()
+
+    def record(self, packet: Packet) -> None:
+        self._counts[(packet.kind, packet.cast)] += 1
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def by_kind(self, kind: PacketKind) -> int:
+        return sum(n for (k, _), n in self._counts.items() if k is kind)
+
+    def by_cast(self, cast: Cast) -> int:
+        return sum(n for (_, c), n in self._counts.items() if c is cast)
+
+    def get(self, kind: PacketKind, cast: Cast) -> int:
+        return self._counts[(kind, cast)]
+
+    @property
+    def retransmission_crossings(self) -> int:
+        """Link crossings by repair replies (payload-carrying)."""
+        return sum(n for (k, _), n in self._counts.items() if k.is_retransmission)
+
+    @property
+    def multicast_control_crossings(self) -> int:
+        """Link crossings by multicast repair requests."""
+        return sum(
+            n
+            for (k, c), n in self._counts.items()
+            if k.is_recovery_control and c is not Cast.UNICAST
+        )
+
+    @property
+    def unicast_control_crossings(self) -> int:
+        """Link crossings by unicast (expedited) repair requests."""
+        return sum(
+            n
+            for (k, c), n in self._counts.items()
+            if k.is_recovery_control and c is Cast.UNICAST
+        )
+
+    def snapshot(self) -> dict[tuple[str, str], int]:
+        return {(k.value, c.value): n for (k, c), n in self._counts.items()}
+
+
+class Network:
+    """Hop-by-hop packet delivery over a static multicast tree.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine supplying the clock and event queue.
+    tree:
+        The multicast tree topology.
+    propagation_delay:
+        One-way per-link propagation delay in seconds (paper default 20 ms).
+    bandwidth_bps:
+        Per-link bandwidth (paper default 1.5 Mbps).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: MulticastTree,
+        propagation_delay: float = 0.020,
+        bandwidth_bps: float = 1.5e6,
+    ) -> None:
+        self.sim = sim
+        self.tree = tree
+        self.propagation_delay = propagation_delay
+        self.bandwidth_bps = bandwidth_bps
+        self.drop_fn: DropFn | None = None
+        self.crossings = CrossingCounter()
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+        self._agents: dict[str, Agent] = {}
+        self._links: dict[tuple[str, str], LinkState] = {}
+        for parent, child in tree.links:
+            for u, v in ((parent, child), (child, parent)):
+                self._links[(u, v)] = LinkState(
+                    bandwidth_bps=bandwidth_bps, propagation_delay=propagation_delay
+                )
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, host_id: str, agent: Agent) -> None:
+        """Attach a protocol agent at a host node (source or receiver)."""
+        if self.tree.kind(host_id) is NodeKind.ROUTER:
+            raise ValueError(f"cannot attach an agent at router {host_id!r}")
+        self._agents[host_id] = agent
+
+    def agent(self, host_id: str) -> Agent:
+        return self._agents[host_id]
+
+    def link_state(self, u: str, v: str) -> LinkState:
+        """The directed link state for the hop ``u -> v``."""
+        return self._links[(u, v)]
+
+    # ------------------------------------------------------------------
+    # Latency helpers
+    # ------------------------------------------------------------------
+    def control_delay(self, a: str, b: str) -> float:
+        """One-way latency of a 0-byte control packet from ``a`` to ``b``
+        over an idle network: pure propagation."""
+        return self.tree.hop_distance(a, b) * self.propagation_delay
+
+    def rtt(self, a: str, b: str) -> float:
+        """Round-trip control latency between two nodes."""
+        return 2.0 * self.control_delay(a, b)
+
+    # ------------------------------------------------------------------
+    # Send primitives
+    # ------------------------------------------------------------------
+    def multicast(self, packet: Packet) -> Packet:
+        """Flood ``packet`` over the tree from ``packet.origin``."""
+        packet.cast = Cast.MULTICAST
+        packet.sent_at = self.sim.now
+        self._flood(packet.origin, None, packet)
+        return packet
+
+    def unicast(self, dest: str, packet: Packet) -> Packet:
+        """Send ``packet`` from ``packet.origin`` to ``dest`` along the
+        unique tree path."""
+        if dest == packet.origin:
+            raise ValueError("unicast to self")
+        packet.cast = Cast.UNICAST
+        packet.sent_at = self.sim.now
+        path = self.tree.path(packet.origin, dest)
+        self._unicast_hop(path, 0, packet)
+        return packet
+
+    def unicast_then_subcast(self, turning_point: str, packet: Packet) -> Packet:
+        """Router-assisted reply (§3.3): unicast from ``packet.origin`` up to
+        the ``turning_point`` router, which then subcasts downstream."""
+        packet.cast = Cast.SUBCAST
+        packet.sent_at = self.sim.now
+        packet.turning_point = turning_point
+        if turning_point == packet.origin:
+            self._subcast_from(turning_point, packet)
+            return packet
+        path = self.tree.path(packet.origin, turning_point)
+        self._unicast_hop(path, 0, packet, then_subcast=True)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _flood(self, node: str, from_node: str | None, packet: Packet) -> None:
+        for neighbor in self.tree.neighbors(node):
+            if neighbor == from_node:
+                continue
+            self._transmit(node, neighbor, packet, self._flood_arrival)
+
+    def _flood_arrival(self, node: str, from_node: str, packet: Packet) -> None:
+        self._maybe_deliver(node, packet)
+        self._flood(node, from_node, packet)
+
+    def _subcast_from(self, router: str, packet: Packet) -> None:
+        for child in self.tree.children(router):
+            self._transmit(router, child, packet, self._subcast_arrival)
+
+    def _subcast_arrival(self, node: str, from_node: str, packet: Packet) -> None:
+        self._maybe_deliver(node, packet)
+        self._subcast_from(node, packet)
+
+    def _unicast_hop(
+        self,
+        path: tuple[str, ...],
+        index: int,
+        packet: Packet,
+        then_subcast: bool = False,
+    ) -> None:
+        u, v = path[index], path[index + 1]
+
+        def arrival(node: str, _from: str, pkt: Packet) -> None:
+            if index + 2 < len(path):
+                self._unicast_hop(path, index + 1, pkt, then_subcast)
+            elif then_subcast:
+                self._subcast_from(node, pkt)
+            else:
+                self._maybe_deliver(node, pkt, expected=True)
+
+        self._transmit(u, v, packet, arrival)
+
+    def _transmit(
+        self,
+        u: str,
+        v: str,
+        packet: Packet,
+        on_arrival: Callable[[str, str, Packet], None],
+    ) -> None:
+        self.crossings.record(packet)
+        if self.drop_fn is not None and self.drop_fn(u, v, packet):
+            self.packets_dropped += 1
+            return
+        link = self._links[(u, v)]
+        arrival_time = link.enqueue(self.sim.now, packet.size_bytes)
+        self.sim.schedule_at(arrival_time, on_arrival, v, u, packet)
+
+    def _maybe_deliver(self, node: str, packet: Packet, expected: bool = False) -> None:
+        agent = self._agents.get(node)
+        if agent is None:
+            if expected:
+                raise RuntimeError(f"unicast destination {node!r} has no agent")
+            return
+        if node == packet.origin:
+            return
+        self.packets_delivered += 1
+        agent.receive(packet)

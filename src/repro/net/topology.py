@@ -1,0 +1,399 @@
+"""The static IP multicast tree.
+
+§4.1 of the paper models a transmission as a directed tree ``T = (N, s, L)``
+rooted at the source ``s``, with routers as internal nodes and receivers as
+the leaves.  The tree is static for a whole transmission.  This module
+provides that structure plus the queries the protocols and the inference
+pipeline need: unique paths, hop distances, subtree receiver sets, lowest
+common ancestors (the *turning points* of §3.3), and descendant tests.
+
+Two builders are included: a deterministic balanced tree (handy for tests
+and examples) and a seeded random tree generator that produces a tree with
+an exact receiver count and an exact depth, as required to match the Table 1
+trace metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+#: A directed downstream link, identified as ``(parent, child)``.
+LinkId = tuple[str, str]
+
+
+class TopologyError(ValueError):
+    """Raised for malformed trees or invalid topology queries."""
+
+
+class NodeKind(enum.Enum):
+    SOURCE = "source"
+    ROUTER = "router"
+    RECEIVER = "receiver"
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """A node of the multicast tree."""
+
+    node_id: str
+    kind: NodeKind
+    parent: str | None
+    depth: int
+
+
+class MulticastTree:
+    """A rooted multicast tree with the source at the root.
+
+    Construction validates the §4.1 constraints: a unique root which is the
+    source, every non-root node has exactly one parent, the structure is
+    acyclic and connected, and the receivers are exactly the leaves.
+
+    Parameters
+    ----------
+    source:
+        Node id of the root (the transmission source).
+    parents:
+        Mapping ``child -> parent`` covering every node except the source.
+    receivers:
+        The receiver (leaf) node ids, in display order.  Every other
+        non-source node is a router.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        parents: dict[str, str],
+        receivers: list[str],
+    ) -> None:
+        self.source = source
+        self.receivers: tuple[str, ...] = tuple(receivers)
+        self._parents = dict(parents)
+        if source in self._parents:
+            raise TopologyError(f"source {source!r} must not have a parent")
+
+        receiver_set = set(self.receivers)
+        if len(receiver_set) != len(self.receivers):
+            raise TopologyError("duplicate receiver ids")
+        if source in receiver_set:
+            raise TopologyError("source cannot also be a receiver")
+
+        self._children: dict[str, list[str]] = {source: []}
+        for child in self._parents:
+            self._children.setdefault(child, [])
+        for child, parent in self._parents.items():
+            if parent not in self._children:
+                raise TopologyError(f"parent {parent!r} of {child!r} is not a node")
+            self._children[parent].append(child)
+
+        # Walk down from the root: assigns depths and checks connectivity.
+        self._nodes: dict[str, TreeNode] = {}
+        stack = [(source, None, 0)]
+        while stack:
+            node_id, parent, depth = stack.pop()
+            if node_id in self._nodes:
+                raise TopologyError(f"node {node_id!r} reached twice (cycle?)")
+            kind = (
+                NodeKind.SOURCE
+                if node_id == source
+                else NodeKind.RECEIVER
+                if node_id in receiver_set
+                else NodeKind.ROUTER
+            )
+            self._nodes[node_id] = TreeNode(node_id, kind, parent, depth)
+            for child in self._children[node_id]:
+                stack.append((child, node_id, depth + 1))
+        unreachable = set(self._children) - set(self._nodes)
+        if unreachable:
+            raise TopologyError(f"nodes unreachable from source: {sorted(unreachable)}")
+
+        for node_id, node in self._nodes.items():
+            is_leaf = not self._children[node_id]
+            if node.kind is NodeKind.RECEIVER and not is_leaf:
+                raise TopologyError(f"receiver {node_id!r} is not a leaf")
+            if node.kind is NodeKind.ROUTER and is_leaf:
+                raise TopologyError(f"router {node_id!r} is a leaf")
+            if node.kind is NodeKind.SOURCE and is_leaf and self.receivers:
+                raise TopologyError("source has no children but receivers exist")
+
+        self._subtree_receivers: dict[str, frozenset[str]] = {}
+        self._fill_subtree_receivers(source)
+        self._path_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """All node ids (source, routers, receivers)."""
+        return list(self._nodes)
+
+    @property
+    def hosts(self) -> list[str]:
+        """Protocol participants: the source followed by the receivers."""
+        return [self.source, *self.receivers]
+
+    @property
+    def routers(self) -> list[str]:
+        return [n for n, node in self._nodes.items() if node.kind is NodeKind.ROUTER]
+
+    @property
+    def links(self) -> list[LinkId]:
+        """All downstream links as ``(parent, child)`` pairs."""
+        return [(node.parent, nid) for nid, node in self._nodes.items() if node.parent]
+
+    @property
+    def depth(self) -> int:
+        """Tree depth: maximum node depth (root is depth 0)."""
+        return max(node.depth for node in self._nodes.values())
+
+    def kind(self, node_id: str) -> NodeKind:
+        return self._node(node_id).kind
+
+    def parent(self, node_id: str) -> str | None:
+        return self._node(node_id).parent
+
+    def children(self, node_id: str) -> list[str]:
+        self._node(node_id)
+        return list(self._children[node_id])
+
+    def node_depth(self, node_id: str) -> int:
+        return self._node(node_id).depth
+
+    def neighbors(self, node_id: str) -> list[str]:
+        """Adjacent nodes (parent plus children) — the forwarding fan-out."""
+        node = self._node(node_id)
+        out = list(self._children[node_id])
+        if node.parent is not None:
+            out.append(node.parent)
+        return out
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def _node(self, node_id: str) -> TreeNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def subtree_receivers(self, node_id: str) -> frozenset[str]:
+        """Receivers in the subtree rooted at ``node_id`` (§4.2's R(n))."""
+        self._node(node_id)
+        return self._subtree_receivers[node_id]
+
+    def _fill_subtree_receivers(self, node_id: str) -> frozenset[str]:
+        kids = self._children[node_id]
+        if not kids:
+            node = self._nodes[node_id]
+            result = frozenset([node_id]) if node.kind is NodeKind.RECEIVER else frozenset()
+        else:
+            acc: set[str] = set()
+            for child in kids:
+                acc |= self._fill_subtree_receivers(child)
+            result = frozenset(acc)
+        self._subtree_receivers[node_id] = result
+        return result
+
+    def is_descendant(self, node_id: str, ancestor: str) -> bool:
+        """True if ``node_id`` lies strictly below ``ancestor``."""
+        current = self._node(node_id).parent
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._nodes[current].parent
+        return False
+
+    def ancestors(self, node_id: str) -> list[str]:
+        """Ancestors of ``node_id``, nearest first, ending at the source."""
+        out = []
+        current = self._node(node_id).parent
+        while current is not None:
+            out.append(current)
+            current = self._nodes[current].parent
+        return out
+
+    def lca(self, a: str, b: str) -> str:
+        """Lowest common ancestor — the §3.3 *turning point* of a repair
+        travelling from ``a`` to ``b`` (or vice versa) in the source-rooted
+        tree."""
+        na, nb = self._node(a), self._node(b)
+        while na.depth > nb.depth:
+            na = self._nodes[na.parent]  # type: ignore[index]
+        while nb.depth > na.depth:
+            nb = self._nodes[nb.parent]  # type: ignore[index]
+        while na.node_id != nb.node_id:
+            na = self._nodes[na.parent]  # type: ignore[index]
+            nb = self._nodes[nb.parent]  # type: ignore[index]
+        return na.node_id
+
+    def path(self, a: str, b: str) -> tuple[str, ...]:
+        """The unique tree path from ``a`` to ``b``, inclusive of both."""
+        key = (a, b)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        top = self.lca(a, b)
+        up = [a]
+        node = a
+        while node != top:
+            node = self._nodes[node].parent  # type: ignore[assignment]
+            up.append(node)
+        down = [b]
+        node = b
+        while node != top:
+            node = self._nodes[node].parent  # type: ignore[assignment]
+            down.append(node)
+        down.pop()  # drop the LCA, already in `up`
+        result = tuple(up + down[::-1])
+        self._path_cache[key] = result
+        return result
+
+    def hop_distance(self, a: str, b: str) -> int:
+        """Number of links on the unique path between ``a`` and ``b``."""
+        return len(self.path(a, b)) - 1
+
+    def links_upstream_of(self, link: LinkId) -> list[LinkId]:
+        """Links on the path from the source down to (excluding) ``link``."""
+        parent, child = link
+        if self.parent(child) != parent:
+            raise TopologyError(f"{link!r} is not a tree link")
+        out = []
+        node = parent
+        while True:
+            up = self._nodes[node].parent
+            if up is None:
+                break
+            out.append((up, node))
+            node = up
+        return out[::-1]
+
+    def downstream_links(self, node_id: str) -> list[LinkId]:
+        """All links strictly below ``node_id``."""
+        out: list[LinkId] = []
+        stack = [node_id]
+        while stack:
+            n = stack.pop()
+            for child in self._children[n]:
+                out.append((n, child))
+                stack.append(child)
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_parent_map(self) -> dict[str, str]:
+        """The ``child -> parent`` map (a copy)."""
+        return dict(self._parents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MulticastTree(source={self.source!r}, receivers={len(self.receivers)}, "
+            f"routers={len(self.routers)}, depth={self.depth})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def build_balanced_tree(branching: int = 2, depth: int = 3) -> MulticastTree:
+    """A balanced tree: routers at every internal level, receivers at the
+    leaves.  Depth counts links from the source to each receiver.
+
+    With ``branching=2, depth=3`` this yields 4 receivers behind 2 routers
+    behind 1 router — a convenient smallest-interesting example.
+    """
+    if depth < 1:
+        raise TopologyError("depth must be >= 1")
+    if branching < 1:
+        raise TopologyError("branching must be >= 1")
+    source = "s"
+    parents: dict[str, str] = {}
+    receivers: list[str] = []
+    level = [source]
+    router_n = 0
+    receiver_n = 0
+    for d in range(1, depth + 1):
+        next_level = []
+        for parent in level:
+            for _ in range(branching):
+                if d == depth:
+                    receiver_n += 1
+                    nid = f"r{receiver_n}"
+                    receivers.append(nid)
+                else:
+                    router_n += 1
+                    nid = f"x{router_n}"
+                parents[nid] = parent
+                next_level.append(nid)
+        level = next_level
+    return MulticastTree(source, parents, receivers)
+
+
+def build_random_tree(
+    n_receivers: int,
+    depth: int,
+    rng: random.Random,
+    extra_branch_prob: float = 0.35,
+) -> MulticastTree:
+    """A seeded random tree with exactly ``n_receivers`` leaves and exactly
+    ``depth`` links on its longest root-to-leaf path.
+
+    The construction first lays a router *spine* of ``depth - 1`` routers so
+    at least one receiver sits at the target depth, then attaches the
+    remaining receivers to routers chosen at random (biased toward deeper
+    routers so trees resemble the MBone topologies: most receivers several
+    hops from the source).  With probability ``extra_branch_prob`` a new
+    sibling router is interposed, fattening the tree.
+    """
+    if depth < 2:
+        raise TopologyError("random trees need depth >= 2 (router + receiver)")
+    if n_receivers < 1:
+        raise TopologyError("need at least one receiver")
+
+    source = "s"
+    parents: dict[str, str] = {}
+    routers: list[str] = []
+
+    def new_router(parent: str) -> str:
+        rid = f"x{len(routers) + 1}"
+        routers.append(rid)
+        parents[rid] = parent
+        return rid
+
+    # Spine guaranteeing the exact depth: s -> x1 -> ... -> x_{depth-1} -> r1.
+    spine_parent = source
+    for _ in range(depth - 1):
+        spine_parent = new_router(spine_parent)
+
+    receivers = [f"r{i + 1}" for i in range(n_receivers)]
+    parents[receivers[0]] = spine_parent
+
+    for receiver in receivers[1:]:
+        # Candidate routers can host receivers at depth router_depth + 1 <= depth.
+        candidates = [r for r in routers]
+        weights = [1 + routers.index(r) for r in candidates]  # deeper => likelier
+        attach = rng.choices(candidates, weights=weights, k=1)[0]
+        if rng.random() < extra_branch_prob:
+            attach_depth = _router_depth(attach, parents, source)
+            if attach_depth + 2 <= depth:
+                attach = new_router(attach)
+        parents[receiver] = attach
+
+    tree = MulticastTree(source, parents, receivers)
+    # The spine plus depth-capped branching guarantees exactness; make sure.
+    assert tree.depth == depth, (tree.depth, depth)
+    return tree
+
+
+def _router_depth(router: str, parents: dict[str, str], source: str) -> int:
+    d = 0
+    node = router
+    while node != source:
+        node = parents[node]
+        d += 1
+    return d

@@ -1,0 +1,26 @@
+"""RMTP — Reliable Multicast Transport Protocol (simplified).
+
+The third recovery architecture of the paper's landscape (§1 cites it as
+[9]/[14]: Lin & Paul, INFOCOM '96; Paul et al., JSAC '97): a *sender/
+designated-receiver driven*, ACK-based hierarchy, in contrast to SRM's
+receiver-driven multicast NACKs and LMS/CESRM-router's router assistance.
+
+Receivers are organized into **local regions**, each served by a
+**designated receiver (DR)**: members periodically unicast *status
+messages* (an ACK carrying their reception bitmap) to their DR, which
+unicasts retransmissions of whatever they are missing; DRs send their own
+status up to the sender.  Recovery is driven entirely by the periodic
+status cycle — no loss-triggered requests, no suppression — so latency is
+bounded below by the status period, duplicate repairs are structurally
+impossible, and control traffic is steady unicast.
+
+This simplified implementation keeps RMTP's recovery architecture (two-
+level DR hierarchy, periodic window-status ACKs, DR-cached unicast
+retransmission) and drops its flow/congestion control, which the paper's
+comparison does not exercise.
+"""
+
+from repro.rmtp.fabric import RmtpFabric
+from repro.rmtp.agent import RmtpAgent
+
+__all__ = ["RmtpFabric", "RmtpAgent"]

@@ -1,0 +1,25 @@
+"""Discrete-event simulation engine.
+
+This subpackage provides the deterministic, single-threaded simulation
+substrate that every other layer is built on:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and virtual clock.
+* :class:`~repro.sim.events.Event` — a scheduled, cancellable callback.
+* :class:`~repro.sim.timers.Timer` — a restartable one-shot timer.
+* :class:`~repro.sim.rng.RngRegistry` — named, independently seeded random
+  streams so that simulations are reproducible event-for-event.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event
+from repro.sim.timers import Timer, PeriodicTimer
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "Timer",
+    "PeriodicTimer",
+    "RngRegistry",
+]

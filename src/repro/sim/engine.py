@@ -1,0 +1,155 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` keeps a virtual clock and a binary heap of scheduled
+:class:`~repro.sim.events.Event` objects.  Running the simulator pops events
+in ``(time, scheduling-order)`` order and invokes their callbacks.  The clock
+only moves when an event fires, so simulated time is completely decoupled
+from wall-clock time.
+
+Determinism contract
+--------------------
+Given identical schedules and identical random streams (see
+:class:`~repro.sim.rng.RngRegistry`), two runs produce identical event
+sequences.  The engine never consults global randomness or wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(1.0, out.append, "a")
+    >>> _ = sim.schedule(0.5, out.append, "b")
+    >>> sim.run()
+    >>> out
+    ['b', 'a']
+    >>> sim.now
+    1.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued, including lazily-cancelled ones."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled until it fires.
+        ``delay`` must be non-negative; zero-delay events fire after all
+        events already scheduled for the current instant (FIFO order).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at the absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} before now={self._now!r}"
+            )
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns True if an event fired, False if the queue is exhausted.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is an absolute simulated time; events scheduled exactly at
+        ``until`` still fire.  Afterwards the clock rests at the last fired
+        event's time (or at ``until`` if that is later and the queue held a
+        later event).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event's callback returns."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop every pending event without firing it."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

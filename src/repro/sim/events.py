@@ -1,0 +1,54 @@
+"""Scheduled events for the discrete-event engine.
+
+An :class:`Event` is a callback scheduled at an absolute simulated time.
+Events are totally ordered by ``(time, sequence)`` where the sequence number
+is assigned in scheduling order, so simultaneous events fire FIFO.  This
+makes every simulation deterministic given the same inputs and seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A cancellable callback scheduled at an absolute simulated time.
+
+    Events are created by :meth:`repro.sim.engine.Simulator.schedule` and
+    should not be instantiated directly.  Cancelling an event is O(1): the
+    event is flagged and skipped when it reaches the head of the queue
+    (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still going to fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}, {state})"

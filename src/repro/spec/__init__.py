@@ -1,0 +1,21 @@
+"""Executable protocol invariants (runtime verification).
+
+CESRM's authors developed the protocol inside a formal-verification
+effort — the paper's [10] (Livadas's thesis, *Formal Modeling, Analysis,
+and Design of Network Protocols*) and [11] model SRM/CESRM as timed I/O
+automata and prove their correctness.  This package carries that spirit
+into the executable reproduction: :class:`~repro.spec.monitor.InvariantMonitor`
+attaches to a running simulation and checks machine-checkable safety
+invariants of the agent state machines *while they execute*, so every test
+and fuzz run doubles as a (bounded) model-checking pass.
+"""
+
+from repro.spec.monitor import InvariantMonitor, InvariantViolation
+from repro.spec.invariants import ALL_INVARIANTS, Invariant
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "ALL_INVARIANTS",
+    "Invariant",
+]

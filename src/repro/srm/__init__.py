@@ -1,0 +1,34 @@
+"""Scalable Reliable Multicast (SRM) — the baseline protocol (§2).
+
+SRM (Floyd et al., SIGCOMM '95 / ToN '97) is an application-layer reliable
+multicast protocol over best-effort IP multicast, built from two components:
+
+* **session message exchange** — periodic multicast session messages carry
+  timestamp echoes for inter-host one-way distance estimation and
+  highest-sequence reports that double as a loss-detection channel
+  (:mod:`repro.srm.session`);
+* **receiver-based packet loss recovery** — multicast repair requests and
+  replies, delayed for deterministic + probabilistic duplicate suppression
+  with exponential back-off (:mod:`repro.srm.agent`).
+
+The scheduling parameters (C1, C2, C3, D1, D2, D3) live in
+:class:`repro.srm.constants.SrmParams`; defaults match the values the paper
+simulates (C1=C2=2, C3=1.5, D1=D2=1, D3=1.5).
+"""
+
+from repro.srm.constants import SrmParams
+from repro.srm.state import RequestState, ReplyState
+from repro.srm.session import SessionReport, DistanceEstimator
+from repro.srm.agent import SrmAgent
+from repro.srm.adaptive import AdaptiveSrmAgent, AdaptiveParams
+
+__all__ = [
+    "SrmParams",
+    "RequestState",
+    "ReplyState",
+    "SessionReport",
+    "DistanceEstimator",
+    "SrmAgent",
+    "AdaptiveSrmAgent",
+    "AdaptiveParams",
+]

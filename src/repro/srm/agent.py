@@ -1,0 +1,485 @@
+"""The SRM protocol agent (§2).
+
+One :class:`SrmAgent` runs at every host (senders and receivers alike —
+SRM is an *any-source* protocol, and every piece of per-stream state is
+kept **per source**, exactly as the paper's "collection of per-source
+requestor/replier caches" prescribes for CESRM).  The agent implements:
+
+* data transmission (any host may source a stream) and in-order gap-based
+  loss detection per source;
+* secondary loss detection from session-message sequence reports and —
+  matching the classic ns-2 implementation — from repair requests seen for
+  packets the host does not have;
+* request scheduling with deterministic + probabilistic suppression,
+  exponential back-off, and the back-off abstinence period (§2.1);
+* reply scheduling with suppression and the reply abstinence period (§2.2);
+* periodic session-message exchange and distance estimation.
+
+Subclass hooks (all no-ops here) let CESRM attach its expedited recovery
+scheme without duplicating any of the SRM machinery:
+``_after_loss_detected``, ``_on_reply_observed``, ``_on_packet_obtained``,
+and ``_on_expedited_request``.
+
+Single-source convenience: the ``source`` constructor argument names the
+*primary* source (the root sender in the paper's trace replays); the
+``stream`` / ``request_states`` / ``reply_states`` properties expose that
+source's state directly, and per-source variants take an explicit source
+id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.network import Network
+from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.srm.constants import SrmParams
+from repro.srm.session import DistanceEstimator, SessionReport
+from repro.srm.state import ReplyState, RequestState, StreamState
+
+
+@dataclass
+class SourceState:
+    """Everything a host tracks about one source's stream."""
+
+    stream: StreamState = field(default_factory=StreamState)
+    request_states: dict[int, RequestState] = field(default_factory=dict)
+    reply_states: dict[int, ReplyState] = field(default_factory=dict)
+
+
+class SrmAgent:
+    """An SRM endpoint attached at one host of the multicast tree.
+
+    Parameters
+    ----------
+    sim, network:
+        The simulation engine and the network this host is attached to.
+    host_id:
+        This host's node id in the tree.
+    source:
+        The primary transmission source (used for the single-source
+        convenience accessors and RTT normalization).
+    params:
+        SRM scheduling constants.
+    rng:
+        The random stream used for all timer jitter at this host.
+    metrics:
+        Shared per-run metrics collector.
+    session_period:
+        Session message period in seconds (paper: 1 s).
+    detect_on_request:
+        When True (default, matching ns-2 SRM), seeing a repair request for
+        a packet this host does not have counts as detecting the loss; the
+        fresh request is scheduled already backed off (suppressed by the
+        request just heard).
+    """
+
+    protocol_name = "srm"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host_id: str,
+        source: str,
+        params: SrmParams,
+        rng: random.Random,
+        metrics: MetricsCollector,
+        session_period: float = 1.0,
+        detect_on_request: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.net = network
+        self.host_id = host_id
+        self.primary_source = source
+        self.params = params
+        self.rng = rng
+        self.metrics = metrics
+        self.session_period = session_period
+        self.detect_on_request = detect_on_request
+
+        self.is_source = host_id == source
+        self.failed = False
+        self.distances = DistanceEstimator(host_id)
+        self._sources: dict[str, SourceState] = {}
+        self._session_timer = PeriodicTimer(sim, session_period, self._send_session)
+
+        network.attach(host_id, self)
+
+    # ------------------------------------------------------------------
+    # Per-source state
+    # ------------------------------------------------------------------
+    def source_state(self, source: str) -> SourceState:
+        """This host's state for ``source``'s stream (created on demand)."""
+        state = self._sources.get(source)
+        if state is None:
+            state = SourceState()
+            self._sources[source] = state
+        return state
+
+    def known_sources(self) -> list[str]:
+        """Sources this host has seen traffic (or reports) for."""
+        return list(self._sources)
+
+    # -- single-source convenience accessors ---------------------------
+    @property
+    def stream(self) -> StreamState:
+        """The primary source's reception state."""
+        return self.source_state(self.primary_source).stream
+
+    @property
+    def request_states(self) -> dict[int, RequestState]:
+        """The primary source's per-packet request states."""
+        return self.source_state(self.primary_source).request_states
+
+    @property
+    def reply_states(self) -> dict[int, ReplyState]:
+        """The primary source's per-packet reply states."""
+        return self.source_state(self.primary_source).reply_states
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, session_offset: float = 0.0) -> None:
+        """Begin session-message exchange; first message at ``offset``."""
+        self._session_timer.start(first_delay=session_offset)
+
+    def fail(self) -> None:
+        """Crash this host: it stops sending, replying, and recovering.
+
+        Models the membership churn of §3.3/§5 — a crashed member neither
+        answers (expedited) requests nor continues its own recoveries.
+        Packets delivered to a failed host are silently dropped.
+        """
+        self.failed = True
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop periodic activity (end of run)."""
+        self._session_timer.stop()
+        for state in self._sources.values():
+            for request in state.request_states.values():
+                request.timer.cancel()
+            for reply in state.reply_states.values():
+                if reply.timer is not None:
+                    reply.timer.cancel()
+
+    def unrecovered_losses(self, source: str | None = None) -> list[int]:
+        """Packets still under recovery (detected but never repaired)."""
+        source = source or self.primary_source
+        return sorted(self.source_state(source).request_states)
+
+    # ------------------------------------------------------------------
+    # Sending data (any host may source its own stream)
+    # ------------------------------------------------------------------
+    def send_data(self, seqno: int) -> None:
+        """Multicast an original data packet of this host's own stream."""
+        if self.failed:
+            return
+        state = self.source_state(self.host_id)
+        state.stream.received.add(seqno)
+        state.stream.max_seq = max(state.stream.max_seq, seqno)
+        packet = Packet(
+            kind=PacketKind.DATA,
+            origin=self.host_id,
+            source=self.host_id,
+            seqno=seqno,
+            size_bytes=PAYLOAD_BYTES,
+        )
+        self.metrics.on_send(self.host_id, packet)
+        self.net.multicast(packet)
+
+    # ------------------------------------------------------------------
+    # Packet dispatch
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if self.failed:
+            return
+        kind = packet.kind
+        if kind is PacketKind.DATA:
+            self._on_data(packet)
+        elif kind is PacketKind.SESSION:
+            self._on_session(packet)
+        elif kind is PacketKind.RQST:
+            self._on_request(packet)
+        elif kind is PacketKind.ERQST:
+            self._on_expedited_request(packet)
+        elif kind.is_retransmission:
+            self._on_reply(packet)
+        else:  # pragma: no cover - exhaustive over PacketKind
+            raise ValueError(f"unhandled packet kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Data path and loss detection
+    # ------------------------------------------------------------------
+    def _on_data(self, packet: Packet) -> None:
+        src = packet.source
+        seq = packet.seqno
+        state = self.source_state(src)
+        if state.stream.has(seq):
+            state.stream.duplicates += 1
+            return
+        self._advance_stream(src, seq - 1)
+        state.stream.received.add(seq)
+        state.stream.max_seq = max(state.stream.max_seq, seq)
+        request = state.request_states.pop(seq, None)
+        if request is not None:
+            # The packet was presumed lost but showed up on the data path
+            # (possible only with reordering); treat as a zero-cost repair.
+            request.timer.cancel()
+            self.metrics.on_late_arrival(self.host_id, seq)
+        self._on_packet_obtained(src, seq)
+
+    def _advance_stream(self, src: str, new_max: int) -> None:
+        """Learn that ``src`` has sent every packet up to ``new_max``; any
+        never-received gap at or below it is a detected loss."""
+        if src == self.host_id:
+            return  # own stream: nothing to detect
+        stream = self.source_state(src).stream
+        if new_max <= stream.max_seq:
+            return
+        for seq in range(stream.max_seq + 1, new_max + 1):
+            if not stream.has(seq):
+                self._detect_loss(seq, src=src)
+        stream.max_seq = new_max
+
+    def _detect_loss(
+        self, seq: int, initial_backoff: int = 0, src: str | None = None
+    ) -> None:
+        src = src or self.primary_source
+        state = self.source_state(src)
+        if seq in state.request_states or state.stream.has(seq):
+            return
+        now = self.sim.now
+        state.stream.ever_lost.add(seq)
+        distance = self._distance_to(src)
+        request = RequestState(
+            timer=Timer(self.sim, self._request_timer_fired, src, seq),
+            detected_at=now,
+            backoff=initial_backoff,
+        )
+        state.request_states[seq] = request
+        lo, hi = self.params.request_interval(distance, request.backoff)
+        request.timer.start(self.rng.uniform(lo, hi))
+        if initial_backoff > 0:
+            # Detected via a foreign request: that request already opened
+            # the round, so observe abstinence as if suppressed by it.
+            request.abstain_until = now + self.params.backoff_abstinence(
+                distance, request.backoff
+            )
+        self.metrics.on_loss_detected(self.host_id, seq, now)
+        self._after_loss_detected(src, seq, request)
+
+    # ------------------------------------------------------------------
+    # Request scheduling (§2.1)
+    # ------------------------------------------------------------------
+    def _request_timer_fired(self, src: str, seq: int) -> None:
+        state = self.source_state(src)
+        request = state.request_states.get(seq)
+        if request is None:  # pragma: no cover - timers cancelled on removal
+            return
+        distance = self._distance_to(src)
+        packet = Packet(
+            kind=PacketKind.RQST,
+            origin=self.host_id,
+            source=src,
+            seqno=seq,
+            size_bytes=CONTROL_BYTES,
+            requestor=self.host_id,
+            requestor_dist=distance,
+        )
+        self.metrics.on_send(self.host_id, packet)
+        self.net.multicast(packet)
+        request.requests_sent += 1
+        # Schedule the next round and enter back-off abstinence.
+        request.backoff += 1
+        lo, hi = self.params.request_interval(distance, request.backoff)
+        request.timer.start(self.rng.uniform(lo, hi))
+        request.abstain_until = self.sim.now + self.params.backoff_abstinence(
+            distance, request.backoff
+        )
+
+    def _on_request(self, packet: Packet) -> None:
+        src = packet.source
+        seq = packet.seqno
+        state = self.source_state(src)
+        self._advance_stream(src, seq - 1)
+        if state.stream.has(seq):
+            self._consider_reply(packet)
+            return
+        if src == self.host_id:
+            return  # request for a packet of our own stream we never sent
+        request = state.request_states.get(seq)
+        if request is not None:
+            if self.sim.now < request.abstain_until:
+                return  # same recovery round — do not back off again
+            distance = self._distance_to(src)
+            request.backoff += 1
+            lo, hi = self.params.request_interval(distance, request.backoff)
+            request.timer.start(self.rng.uniform(lo, hi))
+            request.abstain_until = self.sim.now + self.params.backoff_abstinence(
+                distance, request.backoff
+            )
+            return
+        if self.detect_on_request:
+            # First news of this packet comes from someone else's request:
+            # detect the loss, already suppressed by that request.
+            self._detect_loss(seq, initial_backoff=1, src=src)
+
+    # ------------------------------------------------------------------
+    # Reply scheduling (§2.2)
+    # ------------------------------------------------------------------
+    def _consider_reply(self, request: Packet) -> None:
+        src = request.source
+        seq = request.seqno
+        states = self.source_state(src).reply_states
+        state = states.get(seq)
+        if state is not None and (state.scheduled() or state.pending(self.sim.now)):
+            return  # a reply is already scheduled or pending — discard
+        requestor = request.requestor or request.origin
+        if requestor == self.host_id:
+            return
+        distance = self.distances.get_or(requestor, self.params.default_distance)
+        if state is None:
+            state = ReplyState()
+            states[seq] = state
+        state.requestor = requestor
+        state.requestor_dist_to_source = request.requestor_dist
+        if state.timer is None:
+            state.timer = Timer(self.sim, self._reply_timer_fired, src, seq)
+        lo, hi = self.params.reply_interval(distance)
+        state.timer.start(self.rng.uniform(lo, hi))
+
+    def _reply_timer_fired(self, src: str, seq: int) -> None:
+        state = self.source_state(src).reply_states.get(seq)
+        if state is None:  # pragma: no cover - timers are cancelled on removal
+            return
+        requestor = state.requestor or src
+        distance = self.distances.get_or(requestor, self.params.default_distance)
+        packet = Packet(
+            kind=PacketKind.REPL,
+            origin=self.host_id,
+            source=src,
+            seqno=seq,
+            size_bytes=PAYLOAD_BYTES,
+            requestor=requestor,
+            requestor_dist=state.requestor_dist_to_source,
+            replier=self.host_id,
+            replier_dist=distance,
+        )
+        self.metrics.on_send(self.host_id, packet)
+        self.net.multicast(packet)
+        state.replies_sent += 1
+        state.hold_until = self.sim.now + self.params.reply_abstinence(distance)
+
+    def _on_reply(self, packet: Packet) -> None:
+        src = packet.source
+        seq = packet.seqno
+        state = self.source_state(src)
+        self._advance_stream(src, seq - 1)
+        now = self.sim.now
+        if not state.stream.has(seq):
+            state.stream.received.add(seq)
+            state.stream.max_seq = max(state.stream.max_seq, seq)
+            request = state.request_states.pop(seq, None)
+            if request is not None:
+                request.timer.cancel()
+                self.metrics.on_recovery(
+                    host=self.host_id,
+                    seq=seq,
+                    latency=now - request.detected_at,
+                    expedited=packet.kind is PacketKind.EREPL,
+                    requests_sent=request.requests_sent,
+                )
+            else:
+                # Repaired before the gap was even noticed.
+                state.stream.ever_lost.add(seq)
+                self.metrics.on_undetected_recovery(self.host_id, seq)
+            self._on_packet_obtained(src, seq)
+        else:
+            self.metrics.on_duplicate_reply(self.host_id, seq)
+        # Anyone who hears a reply observes reply abstinence (§2.2) and
+        # suppresses any reply of their own.
+        reply_state = state.reply_states.get(seq)
+        if reply_state is None:
+            reply_state = ReplyState()
+            state.reply_states[seq] = reply_state
+        if reply_state.timer is not None:
+            reply_state.timer.cancel()
+        requestor = packet.requestor or packet.origin
+        distance = self.distances.get_or(requestor, self.params.default_distance)
+        reply_state.hold_until = max(
+            reply_state.hold_until, now + self.params.reply_abstinence(distance)
+        )
+        self._on_reply_observed(packet)
+
+    # ------------------------------------------------------------------
+    # Session messages (§2, §4.3)
+    # ------------------------------------------------------------------
+    def _send_session(self) -> None:
+        now = self.sim.now
+        max_seqs = {
+            src: state.stream.max_seq
+            for src, state in self._sources.items()
+            if state.stream.max_seq >= 0
+        }
+        report = SessionReport(
+            sender=self.host_id,
+            sent_at=now,
+            max_seqs=max_seqs,
+            echoes=self.distances.build_echoes(now),
+        )
+        packet = Packet(
+            kind=PacketKind.SESSION,
+            origin=self.host_id,
+            source=self.host_id,
+            seqno=-1,
+            size_bytes=CONTROL_BYTES,
+            payload=report,
+        )
+        self.metrics.on_send(self.host_id, packet)
+        self.net.multicast(packet)
+
+    def _on_session(self, packet: Packet) -> None:
+        report: SessionReport = packet.payload
+        self.distances.on_session(report, self.sim.now)
+        for src, reported in report.max_seqs.items():
+            if src == self.host_id:
+                continue
+            if reported > self.source_state(src).stream.max_seq:
+                self._advance_stream(src, reported)
+
+    # ------------------------------------------------------------------
+    # Expedited recovery interface (CESRM overrides these)
+    # ------------------------------------------------------------------
+    def _on_expedited_request(self, packet: Packet) -> None:
+        """Plain SRM ignores expedited requests (it never receives any)."""
+
+    def _after_loss_detected(self, src: str, seq: int, state: RequestState) -> None:
+        """Hook: called once per newly detected loss."""
+
+    def _on_reply_observed(self, packet: Packet) -> None:
+        """Hook: called for every repair reply this host receives."""
+
+    def _on_packet_obtained(self, src: str, seq: int) -> None:
+        """Hook: called whenever a previously missing packet arrives."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _distance_to(self, peer: str) -> float:
+        return self.distances.get_or(peer, self.params.default_distance)
+
+    def _distance_to_source(self) -> float:
+        return self._distance_to(self.primary_source)
+
+    def rtt_to_source(self) -> float:
+        """This host's RTT estimate to the primary source."""
+        return 2.0 * self._distance_to_source()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.host_id!r})"

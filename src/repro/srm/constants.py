@@ -1,0 +1,61 @@
+"""SRM scheduling parameters.
+
+Request timers are drawn uniformly from ``2^k [C1·d, (C1+C2)·d]`` where
+``d`` is the requestor's distance estimate to the source and ``k`` the
+back-off count; C1 weights *deterministic* suppression (closer hosts fire
+first), C2 *probabilistic* suppression (equidistant hosts spread out).
+Reply timers are drawn from ``[D1·d', (D1+D2)·d']`` with ``d'`` the
+replier's distance to the requestor.  C3 and D3 scale the back-off- and
+reply-abstinence periods (§2.1–2.2; the C3 knob is this paper's
+generalization of SRM's fixed "half the next request interval").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SrmParams:
+    """The SRM scheduling constants, with the paper's simulation defaults
+    (C1=C2=2, C3=1.5, D1=D2=1, D3=1.5 — §4.3)."""
+
+    c1: float = 2.0
+    c2: float = 2.0
+    c3: float = 1.5
+    d1: float = 1.0
+    d2: float = 1.0
+    d3: float = 1.5
+    #: Distance fallback used if a timer must be set before any session
+    #: exchange produced an estimate (the harness avoids this by delaying
+    #: the transmission start, §4.3).
+    default_distance: float = 0.1
+    #: Cap on the back-off exponent so timer intervals stay finite.
+    max_backoff: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("c1", "c2", "c3", "d1", "d2", "d3"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value!r}")
+        if self.default_distance <= 0:
+            raise ValueError("default_distance must be positive")
+        if self.max_backoff < 1:
+            raise ValueError("max_backoff must be >= 1")
+
+    def request_interval(self, distance: float, backoff: int) -> tuple[float, float]:
+        """The request-timer interval ``2^k [C1·d, (C1+C2)·d]``."""
+        scale = 2.0 ** min(backoff, self.max_backoff)
+        return (scale * self.c1 * distance, scale * (self.c1 + self.c2) * distance)
+
+    def reply_interval(self, distance: float) -> tuple[float, float]:
+        """The reply-timer interval ``[D1·d', (D1+D2)·d']``."""
+        return (self.d1 * distance, (self.d1 + self.d2) * distance)
+
+    def backoff_abstinence(self, distance: float, backoff: int) -> float:
+        """Back-off abstinence duration ``2^k · C3 · d`` (§2.1)."""
+        return (2.0 ** min(backoff, self.max_backoff)) * self.c3 * distance
+
+    def reply_abstinence(self, distance: float) -> float:
+        """Reply abstinence duration ``D3 · d'`` (§2.2)."""
+        return self.d3 * distance

@@ -1,0 +1,92 @@
+"""Per-packet recovery state kept by an SRM host.
+
+A host missing a packet holds a :class:`RequestState` (request timer,
+back-off count, abstinence deadline); a host asked to retransmit holds a
+:class:`ReplyState` (reply timer, requestor bookkeeping, abstinence
+deadline).  The states are plain mutable records — the scheduling logic
+lives in :class:`repro.srm.agent.SrmAgent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.timers import Timer
+
+
+@dataclass
+class RequestState:
+    """Recovery bookkeeping for one packet a host is missing.
+
+    Attributes
+    ----------
+    timer:
+        The pending request timer.
+    backoff:
+        The exponent ``k`` used for the *currently scheduled* request: 0
+        for the first schedule, incremented on every transmission or
+        suppression-triggered reschedule.
+    abstain_until:
+        End of the back-off abstinence period; foreign requests arriving
+        earlier belong to the current round and are discarded (§2.1).
+    detected_at:
+        When the loss was detected — the recovery-latency clock origin.
+    requests_sent:
+        Number of repair requests this host multicast for the packet.
+    """
+
+    timer: Timer
+    detected_at: float
+    backoff: int = 0
+    abstain_until: float = -1.0
+    requests_sent: int = 0
+
+
+@dataclass
+class ReplyState:
+    """Reply bookkeeping for one packet at a host able to retransmit it.
+
+    Attributes
+    ----------
+    timer:
+        The pending reply timer (None when not scheduled).
+    requestor:
+        The host whose request instigated the scheduled reply.
+    requestor_dist_to_source:
+        The requestor's advertised distance to the source (annotation
+        copied from request to reply, feeding CESRM's caches).
+    hold_until:
+        End of the reply abstinence period: while ``now < hold_until`` a
+        reply is *pending* and further requests are discarded (§2.2).
+    """
+
+    timer: Timer | None = None
+    requestor: str | None = None
+    requestor_dist_to_source: float = 0.0
+    hold_until: float = -1.0
+    replies_sent: int = 0
+
+    def scheduled(self) -> bool:
+        """True while a reply transmission is scheduled."""
+        return self.timer is not None and self.timer.armed
+
+    def pending(self, now: float) -> bool:
+        """True while a reply is considered pending (abstinence, §2.2)."""
+        return now < self.hold_until
+
+
+@dataclass
+class StreamState:
+    """Reception state for one source's data stream at one host."""
+
+    max_seq: int = -1
+    received: set[int] = field(default_factory=set)
+    ever_lost: set[int] = field(default_factory=set)
+    duplicates: int = 0
+
+    def has(self, seq: int) -> bool:
+        return seq in self.received
+
+    def missing(self) -> list[int]:
+        """Sequence numbers at or below ``max_seq`` not yet received."""
+        return [s for s in range(self.max_seq + 1) if s not in self.received]

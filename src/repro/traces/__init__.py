@@ -1,0 +1,62 @@
+"""Trace substrate: loss traces, synthesis, and link-loss inference.
+
+The paper's evaluation replays the 14 IP-multicast transmission traces of
+Yajnik et al. (GLOBECOM '96): per-receiver binary loss sequences over a
+static multicast tree.  The real traces are not redistributable, so this
+package synthesizes statistically equivalent ones (per-link Gilbert bursty
+loss processes calibrated to the Table 1 loss counts) and implements the
+paper's full §4.2 methodology for locating losses:
+
+* :mod:`repro.traces.model` — trace data structures.
+* :mod:`repro.traces.gilbert` — the two-state bursty loss process.
+* :mod:`repro.traces.yajnik` — Table 1 metadata for the 14 traces.
+* :mod:`repro.traces.synthesize` — calibrated synthetic trace generation.
+* :mod:`repro.traces.inference` — per-link loss-rate estimation (the
+  Yajnik et al. subtree method and the Cáceres et al. MLE).
+* :mod:`repro.traces.attribution` — loss-pattern → link-combination
+  attribution by exact dynamic programming over the tree.
+* :mod:`repro.traces.analysis` — loss-locality statistics and the
+  [10]-style policy-predictiveness comparison.
+* :mod:`repro.traces.io` — trace serialization.
+"""
+
+from repro.traces.model import LossTrace, SyntheticTrace, TraceError
+from repro.traces.gilbert import GilbertModel
+from repro.traces.yajnik import TraceMeta, YAJNIK_TRACES, FIGURE_TRACES, trace_meta
+from repro.traces.synthesize import synthesize_trace, calibrate_link_rates
+from repro.traces.inference import (
+    estimate_link_rates_subtree,
+    estimate_link_rates_mle,
+)
+from repro.traces.attribution import Attributor, AttributionResult
+from repro.traces.analysis import (
+    TraceAnalysis,
+    BurstStats,
+    analyze_trace,
+    burst_stats,
+    link_concentration,
+    policy_predictiveness,
+)
+
+__all__ = [
+    "LossTrace",
+    "SyntheticTrace",
+    "TraceError",
+    "GilbertModel",
+    "TraceMeta",
+    "YAJNIK_TRACES",
+    "FIGURE_TRACES",
+    "trace_meta",
+    "synthesize_trace",
+    "calibrate_link_rates",
+    "estimate_link_rates_subtree",
+    "estimate_link_rates_mle",
+    "Attributor",
+    "AttributionResult",
+    "TraceAnalysis",
+    "BurstStats",
+    "analyze_trace",
+    "burst_stats",
+    "link_concentration",
+    "policy_predictiveness",
+]

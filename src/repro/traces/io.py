@@ -1,0 +1,112 @@
+"""Trace serialization.
+
+A compact JSON format for traces so users can persist synthesized traces or
+import real measurement data (e.g. converted Yajnik et al. sequences).  Loss
+sequences are stored run-length encoded — MBone loss sequences compress
+extremely well because losses are bursty.
+
+Format (JSON object):
+
+.. code-block:: json
+
+    {
+      "format": "cesrm-trace-v1",
+      "name": "WRN951113",
+      "period": 0.08,
+      "n_packets": 46443,
+      "source": "s",
+      "parents": {"x1": "s", "r1": "x1"},
+      "receivers": ["r1"],
+      "loss_rle": {"r1": [120, 3, 77, 1]}
+    }
+
+``loss_rle`` alternates run lengths of received / lost packets, starting
+with received (a leading 0 means the sequence starts with a loss).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.net.topology import MulticastTree
+from repro.traces.model import LossTrace, TraceError
+
+FORMAT_TAG = "cesrm-trace-v1"
+
+
+def rle_encode(seq: bytes) -> list[int]:
+    """Run-length encode a 0/1 byte sequence, starting with a 0-run."""
+    runs: list[int] = []
+    current = 0
+    count = 0
+    for value in seq:
+        if value == current:
+            count += 1
+        else:
+            runs.append(count)
+            current = value
+            count = 1
+    runs.append(count)
+    return runs
+
+
+def rle_decode(runs: list[int], n: int) -> bytes:
+    """Inverse of :func:`rle_encode`."""
+    out = bytearray()
+    value = 0
+    for run in runs:
+        if run < 0:
+            raise TraceError(f"negative run length {run}")
+        out.extend(bytes([value]) * run)
+        value ^= 1
+    if len(out) != n:
+        raise TraceError(f"RLE decodes to {len(out)} packets, expected {n}")
+    return bytes(out)
+
+
+def trace_to_dict(trace: LossTrace) -> dict:
+    """The JSON-ready representation of a trace."""
+    return {
+        "format": FORMAT_TAG,
+        "name": trace.name,
+        "period": trace.period,
+        "n_packets": trace.n_packets,
+        "source": trace.tree.source,
+        "parents": trace.tree.to_parent_map(),
+        "receivers": list(trace.tree.receivers),
+        "loss_rle": {r: rle_encode(seq) for r, seq in trace.loss_seqs.items()},
+    }
+
+
+def trace_from_dict(data: dict) -> LossTrace:
+    """Parse the representation produced by :func:`trace_to_dict`."""
+    if data.get("format") != FORMAT_TAG:
+        raise TraceError(f"unsupported trace format {data.get('format')!r}")
+    tree = MulticastTree(data["source"], data["parents"], data["receivers"])
+    n = int(data["n_packets"])
+    loss_seqs = {
+        receiver: rle_decode(runs, n) for receiver, runs in data["loss_rle"].items()
+    }
+    return LossTrace(data["name"], tree, float(data["period"]), loss_seqs)
+
+
+def save_trace(trace: LossTrace, path: str | Path) -> None:
+    """Write a trace as JSON to ``path``."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> LossTrace:
+    """Read a trace saved by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def dump_trace(trace: LossTrace, fp: IO[str]) -> None:
+    """Write a trace as JSON to an open text file."""
+    json.dump(trace_to_dict(trace), fp)
+
+
+def parse_trace(fp: IO[str]) -> LossTrace:
+    """Read a trace from an open text file."""
+    return trace_from_dict(json.load(fp))

@@ -1,0 +1,177 @@
+"""Trace data structures.
+
+§4.1 represents a trace as per-receiver binary loss sequences
+``loss : R -> (I -> {0,1})`` over a static multicast tree, and §4.2 derives
+the *link trace representation* ``link : R -> (I -> L ∪ {⊥})`` mapping each
+suffered loss to the tree link estimated to be responsible.  Here a trace
+holds the observed sequences; the link representation is a per-packet set of
+dropped links (an antichain of the tree), from which the per-receiver
+responsible link is the unique set member on that receiver's path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import LinkId, MulticastTree
+
+
+class TraceError(ValueError):
+    """Raised for malformed or inconsistent trace data."""
+
+
+class LossTrace:
+    """Per-receiver binary loss sequences over a multicast tree.
+
+    Parameters
+    ----------
+    name:
+        Trace identifier (e.g. ``"WRN951113"``).
+    tree:
+        The multicast tree of the transmission.
+    period:
+        Packet transmission period in seconds.
+    loss_seqs:
+        Mapping receiver id -> ``bytes`` of length ``n_packets`` with 1
+        marking a lost packet.  Every tree receiver must be present.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tree: MulticastTree,
+        period: float,
+        loss_seqs: dict[str, bytes],
+    ) -> None:
+        if period <= 0:
+            raise TraceError(f"period must be positive, got {period!r}")
+        missing = set(tree.receivers) - set(loss_seqs)
+        if missing:
+            raise TraceError(f"loss sequences missing for receivers {sorted(missing)}")
+        extra = set(loss_seqs) - set(tree.receivers)
+        if extra:
+            raise TraceError(f"loss sequences for unknown receivers {sorted(extra)}")
+        lengths = {len(seq) for seq in loss_seqs.values()}
+        if len(lengths) != 1:
+            raise TraceError(f"inconsistent sequence lengths: {sorted(lengths)}")
+        for receiver, seq in loss_seqs.items():
+            bad = set(seq) - {0, 1}
+            if bad:
+                raise TraceError(f"receiver {receiver!r} has non-binary entries {bad}")
+
+        self.name = name
+        self.tree = tree
+        self.period = period
+        self.loss_seqs = dict(loss_seqs)
+        self.n_packets = lengths.pop()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lost(self, receiver: str, packet: int) -> bool:
+        """True if ``receiver`` lost ``packet``."""
+        return bool(self.loss_seqs[receiver][packet])
+
+    def loss_pattern(self, packet: int) -> frozenset[str]:
+        """The set of receivers that lost ``packet`` (§4.2's pattern x)."""
+        return frozenset(
+            r for r, seq in self.loss_seqs.items() if seq[packet]
+        )
+
+    def lossy_packets(self) -> list[int]:
+        """Packets lost by at least one receiver, ascending."""
+        out = []
+        seqs = list(self.loss_seqs.values())
+        for i in range(self.n_packets):
+            if any(seq[i] for seq in seqs):
+                out.append(i)
+        return out
+
+    def receiver_losses(self, receiver: str) -> int:
+        """Number of packets lost by ``receiver``."""
+        return sum(self.loss_seqs[receiver])
+
+    @property
+    def total_losses(self) -> int:
+        """Total losses summed over receivers (Table 1's '# of Losses')."""
+        return sum(sum(seq) for seq in self.loss_seqs.values())
+
+    def loss_rate(self, receiver: str) -> float:
+        """Fraction of packets lost by ``receiver``."""
+        if not self.n_packets:
+            return 0.0
+        return self.receiver_losses(receiver) / self.n_packets
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Average per-receiver loss rate."""
+        receivers = self.tree.receivers
+        if not receivers or not self.n_packets:
+            return 0.0
+        return self.total_losses / (self.n_packets * len(receivers))
+
+    @property
+    def duration(self) -> float:
+        """Transmission duration in seconds."""
+        return self.n_packets * self.period
+
+    def truncated(self, max_packets: int) -> "LossTrace":
+        """A copy limited to the first ``max_packets`` packets."""
+        if max_packets >= self.n_packets:
+            return self
+        seqs = {r: seq[:max_packets] for r, seq in self.loss_seqs.items()}
+        return LossTrace(self.name, self.tree, self.period, seqs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LossTrace({self.name!r}, receivers={len(self.tree.receivers)}, "
+            f"packets={self.n_packets}, losses={self.total_losses})"
+        )
+
+
+@dataclass
+class SyntheticTrace:
+    """A synthesized trace together with its generation ground truth.
+
+    Attributes
+    ----------
+    trace:
+        The observable part (what a measurement study would record).
+    link_rates:
+        True marginal loss rate of each downstream link.
+    link_combos:
+        Ground-truth per-packet dropped-link antichains: for each packet
+        lost by someone, the set of links that dropped it *and* would have
+        received it (drops hidden behind upstream drops are excluded, since
+        they are unobservable and carry no behavioural consequence).
+    """
+
+    trace: LossTrace
+    link_rates: dict[LinkId, float]
+    link_combos: dict[int, frozenset[LinkId]] = field(default_factory=dict)
+
+    def responsible_link(self, receiver: str, packet: int) -> LinkId | None:
+        """The paper's ``link(r)(i)``: the combo link on ``r``'s path, or
+        None when ``r`` received the packet."""
+        if not self.trace.lost(receiver, packet):
+            return None
+        combo = self.link_combos.get(packet, frozenset())
+        path = self.trace.tree.path(self.trace.tree.source, receiver)
+        path_links = set(zip(path, path[1:]))
+        on_path = [l for l in combo if l in path_links]
+        if len(on_path) != 1:
+            raise TraceError(
+                f"packet {packet}: expected exactly one responsible link for "
+                f"{receiver!r}, found {on_path!r}"
+            )
+        return on_path[0]
+
+    def truncated(self, max_packets: int) -> "SyntheticTrace":
+        """Limit to the first ``max_packets`` packets (combos filtered)."""
+        if max_packets >= self.trace.n_packets:
+            return self
+        return SyntheticTrace(
+            trace=self.trace.truncated(max_packets),
+            link_rates=dict(self.link_rates),
+            link_combos={i: c for i, c in self.link_combos.items() if i < max_packets},
+        )

@@ -1,0 +1,77 @@
+"""Metadata of the 14 Yajnik et al. IP multicast traces (Table 1).
+
+The real MBone traces (single-source constant-rate transmissions to 8–15
+research hosts across the US and Europe, 1995–1996) are not redistributable;
+we carry their published metadata verbatim and synthesize traces that match
+it: receiver count, tree depth, packet period, packet count, and — via
+calibration of the per-link loss processes — the total loss count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """One row of Table 1."""
+
+    index: int
+    name: str
+    n_receivers: int
+    tree_depth: int
+    period_ms: int
+    duration: str
+    n_packets: int
+    n_losses: int
+
+    @property
+    def period(self) -> float:
+        """Packet period in seconds."""
+        return self.period_ms / 1000.0
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Average per-receiver loss probability implied by the row."""
+        return self.n_losses / (self.n_packets * self.n_receivers)
+
+
+#: Table 1 of the paper, verbatim.
+YAJNIK_TRACES: tuple[TraceMeta, ...] = (
+    TraceMeta(1, "RFV960419", 12, 6, 80, "1:00:00", 45001, 24086),
+    TraceMeta(2, "RFV960508", 10, 5, 40, "1:39:19", 148970, 55987),
+    TraceMeta(3, "UCB960424", 15, 7, 40, "1:02:29", 93734, 33506),
+    TraceMeta(4, "WRN950919", 8, 4, 80, "0:23:31", 17637, 10276),
+    TraceMeta(5, "WRN951030", 10, 4, 80, "1:16:02", 57030, 15879),
+    TraceMeta(6, "WRN951101", 9, 5, 80, "0:55:40", 41751, 18911),
+    TraceMeta(7, "WRN951113", 12, 5, 80, "1:01:55", 46443, 29686),
+    TraceMeta(8, "WRN951114", 10, 4, 80, "0:51:23", 38539, 11803),
+    TraceMeta(9, "WRN951128", 9, 4, 80, "0:59:56", 44956, 33040),
+    TraceMeta(10, "WRN951204", 11, 5, 80, "1:00:32", 45404, 16814),
+    TraceMeta(11, "WRN951211", 11, 4, 80, "1:36:42", 72519, 44649),
+    TraceMeta(12, "WRN951214", 7, 4, 80, "0:51:38", 38724, 20872),
+    TraceMeta(13, "WRN951216", 8, 3, 80, "1:06:56", 50202, 37833),
+    TraceMeta(14, "WRN951218", 8, 3, 80, "1:33:20", 69994, 43578),
+)
+
+#: The six "typical traces" whose per-receiver results Figures 1–4 plot.
+FIGURE_TRACES: tuple[str, ...] = (
+    "RFV960419",
+    "RFV960508",
+    "UCB960424",
+    "WRN951113",
+    "WRN951128",
+    "WRN951211",
+)
+
+_BY_NAME = {meta.name: meta for meta in YAJNIK_TRACES}
+
+
+def trace_meta(name: str) -> TraceMeta:
+    """Look up a Table 1 row by trace name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,385 @@
+"""Behavioural tests for the CESRM agent (§3.2)."""
+
+import pytest
+
+from repro.core.agent import CesrmAgent
+from repro.core.cache import RecoveryTuple
+from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
+
+from tests.helpers import make_world, two_subtrees
+
+TX = PAYLOAD_BYTES * 8 / 1.5e6
+D = 0.020
+
+
+def seed_cache(agent: CesrmAgent, seq: int, requestor: str, replier: str) -> None:
+    agent.cache.observe(
+        RecoveryTuple(
+            seqno=seq,
+            requestor=requestor,
+            requestor_to_source=0.06,
+            replier=replier,
+            replier_to_requestor=0.08,
+        )
+    )
+
+
+def repl(origin: str, seq: int, requestor="r1", d_qs=0.06, d_rq=0.04) -> Packet:
+    return Packet(
+        kind=PacketKind.REPL,
+        origin=origin,
+        source="s",
+        seqno=seq,
+        size_bytes=PAYLOAD_BYTES,
+        requestor=requestor,
+        requestor_dist=d_qs,
+        replier=origin,
+        replier_dist=d_rq,
+    )
+
+
+class TestExpeditedRequest:
+    def test_expeditious_requestor_unicasts_erqst(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r3")
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        erqsts = world.metrics.sends_of(PacketKind.ERQST, host="r1")
+        assert len(erqsts) == 1
+        assert erqsts[0][3] == 1  # for the lost packet
+
+    def test_non_requestor_does_not_expedite(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        # r2's cache says r1 is the expeditious requestor
+        seed_cache(world.agent("r2"), 0, requestor="r1", replier="r3")
+        world.send_packets(3, drop={1: {("x1", "r2")}})
+        world.run()
+        assert world.metrics.sends_of(PacketKind.ERQST) == []
+
+    def test_empty_cache_means_pure_srm(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        assert world.metrics.sends_of(PacketKind.ERQST) == []
+        assert world.metrics.sends_of(PacketKind.EREPL) == []
+        # SRM fall-back still recovers
+        assert world.agent("r1").stream.has(1)
+
+    def test_degenerate_self_replier_ignored(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r1")
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        assert world.metrics.sends_of(PacketKind.ERQST) == []
+        assert world.agent("r1").stream.has(1)
+
+    def test_srm_request_still_scheduled_alongside(self):
+        """§3.2: the SRM request is scheduled in parallel; a successful
+        expedited recovery then suppresses it (the replier here is two
+        hops away, so the expedited repair always beats the C1·d-delayed
+        SRM request)."""
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        agent = world.agent("r1")
+        seed_cache(agent, 0, requestor="r1", replier="r2")
+        world.send_packets(3, period=0.3, drop={1: {("x1", "r1")}})
+        world.run()
+        # the expedited recovery finished before the SRM request fired
+        assert world.metrics.sends_of(PacketKind.RQST, host="r1") == []
+        assert agent.stream.has(1)
+
+
+class TestExpeditedReply:
+    def test_replier_immediately_multicasts_erepl(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r2")
+        world.send_packets(3, period=0.3, drop={1: {("x1", "r1")}})
+        world.run()
+        erepls = world.metrics.sends_of(PacketKind.EREPL, host="r2")
+        assert len(erepls) == 1
+        erqsts = world.metrics.sends_of(PacketKind.ERQST, host="r1")
+        # immediate: reply sent exactly when the unicast request arrived
+        # (2 hops of pure propagation, control packet)
+        assert erepls[0][0] == pytest.approx(erqsts[0][0] + 2 * D, abs=1e-9)
+
+    def test_expedited_recovery_is_fast_and_flagged(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r2")
+        world.send_packets(3, period=0.3, drop={1: {("x1", "r1")}})
+        world.run()
+        records = world.metrics.recoveries["r1"]
+        assert len(records) == 1
+        assert records[0].expedited
+        # REORDER-DELAY(0) + 2 hops request + 2 hops reply (payload)
+        expected = 2 * D + 2 * (D + TX)
+        assert records[0].latency == pytest.approx(expected, abs=1e-6)
+
+    def test_erepl_repairs_colosers(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r3")
+        # both r1 and r2 lose the packet; only r1 expedites
+        world.send_packets(3, drop={1: {("x0", "x1")}})
+        world.run()
+        assert world.agent("r2").stream.has(1)
+        records = world.metrics.recoveries["r2"]
+        assert records and records[0].expedited
+
+    def test_replier_missing_packet_stays_silent(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r2")
+        # r2 shares the loss -> expedited recovery fails
+        world.send_packets(3, drop={1: {("x0", "x1")}})
+        world.run()
+        assert len(world.metrics.sends_of(PacketKind.ERQST, host="r1")) == 1
+        assert world.metrics.sends_of(PacketKind.EREPL) == []
+        # SRM fall-back still recovers, non-expedited
+        records = world.metrics.recoveries["r1"]
+        assert records and not records[0].expedited
+        assert world.agent("r2").erqst_shared_loss == 1
+
+    def test_scheduled_reply_suppresses_erepl(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        replier = world.agent("r3")
+        world.agents["s"].send_data(0)
+        world.run(extra=0.5)
+        # a normal request schedules a reply at r3...
+        request = Packet(
+            kind=PacketKind.RQST,
+            origin="r1",
+            source="s",
+            seqno=0,
+            size_bytes=CONTROL_BYTES,
+            requestor="r1",
+            requestor_dist=0.06,
+        )
+        replier.receive(request)
+        assert replier.reply_states[0].scheduled()
+        # ...so the expedited request is refused (§3.2's proviso)
+        erqst = Packet(
+            kind=PacketKind.ERQST,
+            origin="r1",
+            source="s",
+            seqno=0,
+            size_bytes=CONTROL_BYTES,
+            requestor="r1",
+            requestor_dist=0.06,
+            replier="r3",
+        )
+        replier.receive(erqst)
+        assert replier.erqst_suppressed == 1
+        assert world.metrics.sends_of(PacketKind.EREPL, host="r3") == []
+
+    def test_pending_reply_suppresses_erepl(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        replier = world.agent("r3")
+        world.agents["s"].send_data(0)
+        world.run(extra=0.5)
+        replier.receive(repl("r4", 0, requestor="r1"))  # hold_until set
+        erqst = Packet(
+            kind=PacketKind.ERQST,
+            origin="r1",
+            source="s",
+            seqno=0,
+            size_bytes=CONTROL_BYTES,
+            requestor="r1",
+            requestor_dist=0.06,
+            replier="r3",
+        )
+        replier.receive(erqst)
+        assert replier.erqst_suppressed == 1
+
+
+class TestReorderDelay:
+    def test_packet_arrival_cancels_expedited_request(self):
+        world = make_world(
+            tree=two_subtrees(), protocol="cesrm", reorder_delay=0.5
+        )
+        world.run_warmup()
+        agent = world.agent("r1")
+        seed_cache(agent, 0, requestor="r1", replier="r3")
+        agent._detect_loss(3)
+        assert ("s", 3) in agent._expedited
+        packet = Packet(
+            kind=PacketKind.DATA,
+            origin="s",
+            source="s",
+            seqno=3,
+            size_bytes=PAYLOAD_BYTES,
+        )
+        agent.receive(packet)  # the "reordered" packet shows up
+        world.run(extra=1.0)
+        # no expedited request went out for packet 3 (cascades from the
+        # surgical gap 0..2 are filtered by seq)
+        erqsts = [e for e in world.metrics.sends_of(PacketKind.ERQST) if e[3] == 3]
+        assert erqsts == []
+        assert agent.expedited_cancelled == 1
+
+    def test_erqst_delayed_by_reorder_delay(self):
+        world = make_world(
+            tree=two_subtrees(), protocol="cesrm", reorder_delay=0.3
+        )
+        world.run_warmup()
+        agent = world.agent("r1")
+        seed_cache(agent, 0, requestor="r1", replier="r3")
+        t_detect = world.sim.now
+        agent._detect_loss(3)
+        world.run(extra=1.0)
+        erqsts = [
+            e
+            for e in world.metrics.sends_of(PacketKind.ERQST, host="r1")
+            if e[3] == 3
+        ]
+        assert len(erqsts) == 1
+        assert erqsts[0][0] == pytest.approx(t_detect + 0.3, abs=1e-9)
+
+    def test_negative_reorder_delay_rejected(self):
+        with pytest.raises(ValueError):
+            make_world(protocol="cesrm", reorder_delay=-0.1)
+
+
+class TestCacheUpdates:
+    def test_reply_for_suffered_loss_cached(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        agent = world.agent("r1")
+        agent._detect_loss(4)
+        agent.receive(repl("r3", 4, requestor="r2"))
+        cached = agent.cache.get(4)
+        assert cached is not None
+        assert cached.pair == ("r2", "r3")
+
+    def test_reply_for_unsuffered_loss_discarded(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        agent = world.agent("r1")
+        world.agents["s"].send_data(0)
+        world.run(extra=0.5)
+        assert agent.stream.has(0)
+        agent.receive(repl("r3", 0, requestor="r2"))
+        assert agent.cache.get(0) is None
+
+    def test_unannotated_reply_ignored(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        agent = world.agent("r1")
+        agent._detect_loss(4)
+        bare = Packet(
+            kind=PacketKind.REPL,
+            origin="r3",
+            source="s",
+            seqno=4,
+            size_bytes=PAYLOAD_BYTES,
+        )
+        agent.receive(bare)
+        assert agent.cache.get(4) is None
+        assert agent.stream.has(4)  # still repaired
+
+    def test_optimal_pair_wins_across_duplicate_replies(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        agent = world.agent("r1")
+        agent._detect_loss(4)
+        agent.receive(repl("r3", 4, requestor="r2", d_qs=0.06, d_rq=0.20))
+        agent.receive(repl("r4", 4, requestor="r2", d_qs=0.06, d_rq=0.01))
+        assert agent.cache.get(4).replier == "r4"
+
+    def test_expedited_reply_also_updates_cache(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agent("r1"), 0, requestor="r1", replier="r3")
+        world.send_packets(3, drop={1: {("x0", "x1")}})
+        world.run()
+        # r2 lost packet 1 and recovered via r3's EREPL: its cache now
+        # holds the (r1, r3) pair
+        cached = world.agent("r2").cache.get(1)
+        assert cached is not None
+        assert cached.pair == ("r1", "r3")
+
+
+class TestErqstLossDetection:
+    def test_erqst_reveals_loss_to_sharing_replier(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        replier = world.agent("r2")
+        erqst = Packet(
+            kind=PacketKind.ERQST,
+            origin="r1",
+            source="s",
+            seqno=0,
+            size_bytes=CONTROL_BYTES,
+            requestor="r1",
+            requestor_dist=0.06,
+            replier="r2",
+        )
+        replier.receive(erqst)
+        assert 0 in replier.request_states
+        assert replier.request_states[0].backoff == 1
+
+    def test_erqst_detection_respects_flag(self):
+        world = make_world(
+            tree=two_subtrees(), protocol="cesrm", detect_on_request=False
+        )
+        world.run_warmup()
+        replier = world.agent("r2")
+        erqst = Packet(
+            kind=PacketKind.ERQST,
+            origin="r1",
+            source="s",
+            seqno=0,
+            size_bytes=CONTROL_BYTES,
+            requestor="r1",
+            requestor_dist=0.06,
+            replier="r2",
+        )
+        replier.receive(erqst)
+        assert 0 not in replier.request_states
+
+
+class TestEndToEndLocality:
+    def test_repeated_losses_on_same_link_become_expedited(self):
+        """After the first (SRM) recovery, subsequent losses on the same
+        link recover through the expedited path — the CESRM premise."""
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        drop = {seq: {("x0", "x1")} for seq in (1, 3, 5, 7)}
+        world.send_packets(9, period=0.3, drop=drop)
+        world.run(extra=30.0)
+        for receiver in ("r1", "r2"):
+            records = {rec.seq: rec for rec in world.metrics.recoveries[receiver]}
+            assert set(records) == {1, 3, 5, 7}
+            assert not records[1].expedited  # cold cache
+            # once warm, every subsequent loss is repaired expeditiously
+            assert records[5].expedited and records[7].expedited
+
+    def test_determinism(self):
+        def run_once():
+            world = make_world(tree=two_subtrees(), protocol="cesrm", seed=3)
+            world.run_warmup()
+            drop = {seq: {("x0", "x1")} for seq in (1, 3)}
+            world.send_packets(5, drop=drop)
+            world.run()
+            return world.metrics.send_log
+
+        assert run_once() == run_once()
+
+    def test_stop_cancels_expedited_timers(self):
+        world = make_world(
+            tree=two_subtrees(), protocol="cesrm", reorder_delay=5.0
+        )
+        world.run_warmup()
+        agent = world.agent("r1")
+        seed_cache(agent, 0, requestor="r1", replier="r3")
+        agent._detect_loss(3)
+        agent.stop()
+        world.run(extra=10.0)
+        assert world.metrics.sends_of(PacketKind.ERQST) == []

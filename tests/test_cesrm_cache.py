@@ -1,0 +1,139 @@
+"""Tests for the optimal requestor/replier cache (§3.1)."""
+
+import pytest
+
+from repro.core.cache import RecoveryPairCache, RecoveryTuple
+
+
+def tup(seq: int, q="q", d_qs=0.1, r="r", d_rq=0.05, tp=None) -> RecoveryTuple:
+    return RecoveryTuple(
+        seqno=seq,
+        requestor=q,
+        requestor_to_source=d_qs,
+        replier=r,
+        replier_to_requestor=d_rq,
+        turning_point=tp,
+    )
+
+
+class TestRecoveryTuple:
+    def test_recovery_delay_metric(self):
+        # d_qs + 2 * d_rq (§3.1)
+        assert tup(0, d_qs=0.1, d_rq=0.05).recovery_delay == pytest.approx(0.2)
+
+    def test_pair(self):
+        assert tup(0, q="a", r="b").pair == ("a", "b")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            tup(0).seqno = 5
+
+    def test_turning_point_default_none(self):
+        assert tup(0).turning_point is None
+        assert tup(0, tp="x1").turning_point == "x1"
+
+
+class TestObserveRules:
+    def test_insert_new_packet(self):
+        cache = RecoveryPairCache(capacity=4)
+        assert cache.observe(tup(1))
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_optimal_pair_kept_on_duplicate(self):
+        cache = RecoveryPairCache(capacity=4)
+        cache.observe(tup(1, r="slow", d_rq=0.2))
+        improved = tup(1, r="fast", d_rq=0.01)
+        assert cache.observe(improved)
+        assert cache.get(1).replier == "fast"
+
+    def test_worse_pair_discarded_on_duplicate(self):
+        cache = RecoveryPairCache(capacity=4)
+        cache.observe(tup(1, r="fast", d_rq=0.01))
+        assert not cache.observe(tup(1, r="slow", d_rq=0.2))
+        assert cache.get(1).replier == "fast"
+
+    def test_equal_delay_keeps_first(self):
+        cache = RecoveryPairCache(capacity=4)
+        cache.observe(tup(1, r="first"))
+        assert not cache.observe(tup(1, r="second"))
+        assert cache.get(1).replier == "first"
+
+    def test_eviction_of_least_recent_packet(self):
+        cache = RecoveryPairCache(capacity=2)
+        cache.observe(tup(1))
+        cache.observe(tup(2))
+        cache.observe(tup(3))
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_older_than_everything_rejected_when_full(self):
+        cache = RecoveryPairCache(capacity=2)
+        cache.observe(tup(5))
+        cache.observe(tup(6))
+        assert not cache.observe(tup(1))
+        assert 1 not in cache
+        assert cache.rejects == 1
+
+    def test_old_packet_accepted_when_not_full(self):
+        cache = RecoveryPairCache(capacity=3)
+        cache.observe(tup(5))
+        cache.observe(tup(6))
+        assert cache.observe(tup(1))
+        assert 1 in cache
+
+    def test_update_allowed_even_for_oldest_cached(self):
+        cache = RecoveryPairCache(capacity=2)
+        cache.observe(tup(5, d_rq=0.2))
+        cache.observe(tup(6))
+        assert cache.observe(tup(5, d_rq=0.01))  # same packet: update
+        assert cache.get(5).replier_to_requestor == pytest.approx(0.01)
+
+    def test_capacity_one(self):
+        cache = RecoveryPairCache(capacity=1)
+        cache.observe(tup(1))
+        cache.observe(tup(2))
+        assert len(cache) == 1
+        assert 2 in cache
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RecoveryPairCache(capacity=0)
+
+
+class TestQueries:
+    def test_most_recent_is_highest_seq(self):
+        cache = RecoveryPairCache(capacity=4)
+        cache.observe(tup(3, q="q3"))
+        cache.observe(tup(7, q="q7"))
+        cache.observe(tup(5, q="q5"))
+        assert cache.most_recent().requestor == "q7"
+
+    def test_most_recent_empty(self):
+        assert RecoveryPairCache().most_recent() is None
+
+    def test_entries_ordered_most_recent_first(self):
+        cache = RecoveryPairCache(capacity=4)
+        for seq in (2, 9, 4):
+            cache.observe(tup(seq))
+        assert [e.seqno for e in cache.entries()] == [9, 4, 2]
+
+    def test_pair_frequencies(self):
+        cache = RecoveryPairCache(capacity=8)
+        cache.observe(tup(1, q="a", r="x"))
+        cache.observe(tup(2, q="a", r="x"))
+        cache.observe(tup(3, q="b", r="y"))
+        assert cache.pair_frequencies() == {("a", "x"): 2, ("b", "y"): 1}
+
+    def test_clear(self):
+        cache = RecoveryPairCache()
+        cache.observe(tup(1))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_stats_counters(self):
+        cache = RecoveryPairCache(capacity=2)
+        cache.observe(tup(1, d_rq=0.5))
+        cache.observe(tup(1, d_rq=0.1))
+        assert cache.inserts == 1
+        assert cache.improvements == 1

@@ -1,0 +1,147 @@
+"""Membership-churn robustness (§3.3, §5).
+
+The paper argues CESRM degrades gracefully when members crash: a stale
+cached replier merely makes expedited recoveries fail, SRM's scheme keeps
+recovering in the interim, and the caches adapt to a live pair.  Router-
+assisted protocols like LMS, by contrast, strand replier state in routers.
+These tests crash hosts mid-session and verify exactly that story.
+"""
+
+from repro.core.cache import RecoveryTuple
+from repro.net.packet import PacketKind
+
+from tests.helpers import make_world, two_subtrees
+
+
+def seed_cache(agent, seq, requestor, replier):
+    agent.cache.observe(
+        RecoveryTuple(
+            seqno=seq,
+            requestor=requestor,
+            requestor_to_source=0.06,
+            replier=replier,
+            replier_to_requestor=0.08,
+        )
+    )
+
+
+class TestFailedHostBehaviour:
+    def test_failed_host_is_silent(self):
+        world = make_world(tree=two_subtrees())
+        world.run_warmup()
+        world.agents["r3"].fail()
+        before = len(world.metrics.sends_of(PacketKind.SESSION, host="r3"))
+        world.run(extra=5.0)
+        after = len(world.metrics.sends_of(PacketKind.SESSION, host="r3"))
+        assert before == after
+
+    def test_failed_host_does_not_reply(self):
+        world = make_world(tree=two_subtrees())
+        world.run_warmup()
+        world.send_packets(2, period=0.3)
+        world.run(extra=1.0)
+        world.agents["r3"].fail()
+        # r1 now asks for a (fake) retransmission; r3 would normally answer
+        from tests.test_srm_agent import rqst
+
+        world.agents["r3"].receive(rqst("r1", 0))
+        world.run(extra=2.0)
+        assert world.metrics.sends_of(PacketKind.REPL, host="r3") == []
+
+    def test_failed_source_stops_sending(self):
+        world = make_world(tree=two_subtrees())
+        world.run_warmup()
+        world.agents["s"].fail()
+        world.send_packets(3)
+        world.run()
+        assert world.metrics.sends_of(PacketKind.DATA) == []
+
+
+class TestSrmSurvivesChurn:
+    def test_recovery_survives_any_single_receiver_crash(self):
+        """With lossless recovery and at least one live holder of the
+        packet (the source), SRM always recovers — whoever crashes."""
+        for victim in ("r2", "r3", "r4"):
+            world = make_world(tree=two_subtrees())
+            world.run_warmup()
+            world.sim.schedule(0.01, world.agents[victim].fail)
+            world.send_packets(4, period=0.3, drop={1: {("x1", "r1")}})
+            world.run(extra=30.0)
+            assert world.agents["r1"].unrecovered_losses() == [], victim
+
+
+class TestCesrmAdaptsToChurn:
+    def test_stale_replier_falls_back_to_srm(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        seed_cache(world.agents["r1"], 0, requestor="r1", replier="r3")
+        world.agents["r3"].fail()
+        world.send_packets(4, period=0.3, drop={1: {("x1", "r1")}})
+        world.run(extra=30.0)
+        # the expedited request went out but died at the crashed replier
+        assert len(world.metrics.sends_of(PacketKind.ERQST, host="r1")) == 1
+        assert world.metrics.sends_of(PacketKind.EREPL) == []
+        # ... and SRM recovered anyway
+        records = world.metrics.recoveries["r1"]
+        assert [r.seq for r in records] == [1]
+        assert not records[0].expedited
+
+    def test_cache_adapts_to_live_pair_after_crash(self):
+        """The §5 adaptivity claim: after the cached replier crashes, the
+        SRM fall-back recovery installs a live pair, and subsequent losses
+        are expedited again."""
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        agent = world.agents["r1"]
+        seed_cache(agent, 0, requestor="r1", replier="r3")
+        world.agents["r3"].fail()
+        drop = {seq: {("x1", "r1")} for seq in (1, 3, 5)}
+        world.send_packets(7, period=0.5, drop=drop)
+        world.run(extra=30.0)
+        records = {rec.seq: rec for rec in world.metrics.recoveries["r1"]}
+        assert set(records) == {1, 3, 5}
+        assert not records[1].expedited  # stale replier -> SRM fall-back
+        # the fall-back reply re-seeded the cache with a live replier...
+        cached = agent.cache.most_recent()
+        assert cached is not None
+        assert cached.replier != "r3"
+        assert not world.agents[cached.replier].failed
+        # ...so later losses went expedited again
+        assert records[5].expedited
+
+    def test_crashed_expeditious_requestor_does_not_stall_recovery(self):
+        """If the host every cache points at as requestor crashes, nobody
+        expedites — but SRM still recovers everyone, and new (live)
+        requestor/replier pairs get cached."""
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        # both subtree receivers believe r1 is the expeditious requestor
+        seed_cache(world.agents["r1"], 0, requestor="r1", replier="s")
+        seed_cache(world.agents["r2"], 0, requestor="r1", replier="s")
+        world.agents["r1"].fail()
+        drop = {seq: {("x0", "x1")} for seq in (1, 3)}
+        world.send_packets(5, period=0.5, drop=drop)
+        world.run(extra=30.0)
+        r2 = world.agents["r2"]
+        assert r2.unrecovered_losses() == []
+        # r2's cache now names a live requestor
+        cached = r2.cache.most_recent()
+        assert cached is not None
+        assert cached.requestor != "r1"
+
+    def test_full_reliability_with_two_crashes(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        world.sim.schedule(0.6, world.agents["r3"].fail)
+        world.sim.schedule(1.2, world.agents["r2"].fail)
+        drop = {}
+        for seq in (1, 2, 4, 6):
+            drop[seq] = {("x1", "r1")} if seq % 2 == 0 else {("x0", "x1")}
+        world.send_packets(8, period=0.4, drop=drop)
+        world.run(extra=30.0)
+        # every *live* receiver recovered everything
+        for receiver in ("r1", "r4"):
+            agent = world.agents[receiver]
+            assert agent.unrecovered_losses() == [], receiver
+            for seq in range(8):
+                assert agent.stream.has(seq), (receiver, seq)

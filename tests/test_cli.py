@@ -1,0 +1,134 @@
+"""Tests for the ``cesrm`` command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_accepted(self):
+        parser = build_parser()
+        for command in (
+            "table1",
+            "figure1",
+            "figure5",
+            "run",
+            "timeline",
+            "analyze",
+            "synth",
+            "all",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "WRN951216", "--protocol", "cesrm-router", "--seed", "3"]
+        )
+        assert args.trace == "WRN951216"
+        assert args.protocol == "cesrm-router"
+        assert args.seed == 3
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace", "NOPE"])
+
+    def test_max_packets_flag(self):
+        args = build_parser().parse_args(["table1", "--max-packets", "500"])
+        assert args.max_packets == 500
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1", "--max-packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "RFV960419" in out
+
+    def test_run_single(self, capsys):
+        code = main(
+            ["run", "--trace", "WRN951216", "--protocol", "cesrm", "--max-packets", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cesrm on WRN951216" in out
+        assert "expedited" in out
+
+    def test_run_srm_has_no_expedited_line(self, capsys):
+        main(["run", "--trace", "WRN951216", "--protocol", "srm", "--max-packets", "300"])
+        out = capsys.readouterr().out
+        assert "expedited" not in out
+
+    def test_section34(self, capsys):
+        assert main(["section34", "--max-packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq.(1)" in out
+
+    def test_timeline(self, capsys):
+        assert main(
+            ["timeline", "--trace", "WRN951216", "--max-packets", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovery timeline" in out
+        assert "RTT" in out
+
+    def test_timeline_with_explicit_receiver(self, capsys):
+        main(
+            [
+                "timeline",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--receiver",
+                "r1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "r1" in out
+
+    def test_synth_writes_file(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        assert main(
+            [
+                "synth",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--out",
+                str(out_path),
+            ]
+        ) == 0
+        assert out_path.exists()
+        from repro.traces.io import load_trace
+
+        assert load_trace(out_path).n_packets == 300
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--max-packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "RecentAcc" in out
+
+    def test_verify_flag(self, capsys):
+        assert main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--protocol",
+                "cesrm",
+                "--max-packets",
+                "300",
+                "--verify",
+            ]
+        ) == 0
+
+    def test_all_traces_flag(self, capsys):
+        assert main(["figure2", "--all-traces", "--max-packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Figure 2") == 14

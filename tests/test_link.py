@@ -1,0 +1,79 @@
+"""Unit tests for the per-direction link model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.link import LinkState
+
+
+def make_link(bw: float = 1.5e6, delay: float = 0.020) -> LinkState:
+    return LinkState(bandwidth_bps=bw, propagation_delay=delay)
+
+
+def test_transmission_time_of_payload():
+    link = make_link()
+    # 1 KB at 1.5 Mbps = 8192 / 1.5e6 s ≈ 5.46 ms
+    assert link.transmission_time(1024) == pytest.approx(8192 / 1.5e6)
+
+
+def test_control_packets_have_zero_transmission_time():
+    assert make_link().transmission_time(0) == 0.0
+
+
+def test_enqueue_idle_link():
+    link = make_link()
+    arrival = link.enqueue(now=1.0, size_bytes=0)
+    assert arrival == pytest.approx(1.020)
+
+
+def test_enqueue_includes_transmission_and_propagation():
+    link = make_link()
+    arrival = link.enqueue(now=0.0, size_bytes=1024)
+    assert arrival == pytest.approx(8192 / 1.5e6 + 0.020)
+
+
+def test_back_to_back_payloads_queue():
+    link = make_link()
+    tx = link.transmission_time(1024)
+    first = link.enqueue(now=0.0, size_bytes=1024)
+    second = link.enqueue(now=0.0, size_bytes=1024)
+    assert first == pytest.approx(tx + 0.020)
+    assert second == pytest.approx(2 * tx + 0.020)
+    assert link.queueing_delay_total == pytest.approx(tx)
+
+
+def test_control_packet_not_delayed_by_idle_gap():
+    link = make_link()
+    link.enqueue(now=0.0, size_bytes=1024)
+    tx = link.transmission_time(1024)
+    # after the payload finished serializing, the link is idle again
+    arrival = link.enqueue(now=tx + 1.0, size_bytes=0)
+    assert arrival == pytest.approx(tx + 1.0 + 0.020)
+
+
+def test_counters():
+    link = make_link()
+    link.enqueue(now=0.0, size_bytes=1024)
+    link.enqueue(now=0.0, size_bytes=0)
+    assert link.packets_carried == 2
+    assert link.bytes_carried == 1024
+
+
+def test_mean_queueing_delay_empty():
+    assert make_link().mean_queueing_delay == 0.0
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=4096), min_size=1, max_size=30),
+    bw=st.floats(min_value=1e4, max_value=1e9),
+    delay=st.floats(min_value=0.0001, max_value=0.5),
+)
+def test_arrivals_are_fifo_monotone(sizes, bw, delay):
+    """Arrivals over one direction never reorder (FIFO queue)."""
+    link = LinkState(bandwidth_bps=bw, propagation_delay=delay)
+    arrivals = [link.enqueue(now=0.0, size_bytes=size) for size in sizes]
+    assert arrivals == sorted(arrivals)
+    # every arrival is at least propagation + own transmission away
+    for size, arrival in zip(sizes, arrivals):
+        assert arrival >= delay + link.transmission_time(size) - 1e-12

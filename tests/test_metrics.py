@@ -1,0 +1,188 @@
+"""Tests for metrics collection, statistics, and overhead accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.overhead import OverheadBreakdown, overhead_breakdown
+from repro.metrics.stats import mean, median, percentile, safe_ratio
+from repro.net.network import CrossingCounter
+from repro.net.packet import Cast, Packet, PacketKind
+
+
+def packet(kind: PacketKind, cast: Cast = Cast.MULTICAST) -> Packet:
+    return Packet(
+        kind=kind, origin="h", source="s", seqno=0, size_bytes=0, cast=cast
+    )
+
+
+class TestCollector:
+    def test_send_counting_by_kind(self):
+        metrics = MetricsCollector()
+        metrics.on_send("r1", packet(PacketKind.RQST))
+        metrics.on_send("r1", packet(PacketKind.RQST))
+        metrics.on_send("r2", packet(PacketKind.REPL))
+        assert metrics.sends_by_host_kind("r1", PacketKind.RQST) == 2
+        assert metrics.sends_by_host_kind("r2", PacketKind.REPL) == 1
+        assert metrics.total_sends(PacketKind.RQST) == 2
+
+    def test_erqst_always_counted_unicast(self):
+        metrics = MetricsCollector()
+        metrics.on_send("r1", packet(PacketKind.ERQST, cast=Cast.MULTICAST))
+        assert metrics.sends[("r1", PacketKind.ERQST, Cast.UNICAST)] == 1
+
+    def test_recovery_latency_filters(self):
+        metrics = MetricsCollector()
+        metrics.on_recovery("r1", 1, 0.5, expedited=True, requests_sent=0)
+        metrics.on_recovery("r1", 2, 1.5, expedited=False, requests_sent=1)
+        assert metrics.recovery_latencies("r1") == [0.5, 1.5]
+        assert metrics.recovery_latencies("r1", expedited=True) == [0.5]
+        assert metrics.recovery_latencies("r1", expedited=False) == [1.5]
+        assert metrics.recovery_count("r1") == 2
+        assert metrics.recovery_count("r2") == 0
+
+    def test_expedited_success_rate(self):
+        metrics = MetricsCollector()
+        for _ in range(4):
+            metrics.on_send("r1", packet(PacketKind.ERQST, cast=Cast.UNICAST))
+        for _ in range(3):
+            metrics.on_send("r2", packet(PacketKind.EREPL))
+        assert metrics.expedited_requests_sent == 4
+        assert metrics.expedited_replies_sent == 3
+        assert metrics.expedited_success_rate == pytest.approx(0.75)
+
+    def test_success_rate_zero_requests(self):
+        assert MetricsCollector().expedited_success_rate == 0.0
+
+    def test_all_recoveries_flattened(self):
+        metrics = MetricsCollector()
+        metrics.on_recovery("r1", 1, 0.5, True, 0)
+        metrics.on_recovery("r2", 1, 0.7, False, 1)
+        assert len(metrics.all_recoveries()) == 2
+
+    def test_event_counters(self):
+        metrics = MetricsCollector()
+        metrics.on_loss_detected("r1", 3, 1.0)
+        metrics.on_duplicate_reply("r1", 3)
+        metrics.on_undetected_recovery("r2", 4)
+        metrics.on_late_arrival("r2", 5)
+        assert metrics.losses_detected["r1"] == 1
+        assert metrics.duplicate_replies["r1"] == 1
+        assert metrics.undetected_recoveries["r2"] == 1
+        assert metrics.late_arrivals["r2"] == 1
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+        assert median([]) == 0.0
+
+    def test_percentile_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 30) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_percentile_within_range(self, values):
+        p = percentile(values, 37.5)
+        assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_median_is_50th_percentile(self, values):
+        assert median(values) == pytest.approx(percentile(values, 50), abs=1e-9)
+
+    def test_safe_ratio(self):
+        assert safe_ratio(6, 3) == 2.0
+        assert safe_ratio(1, 0) == 0.0
+        assert safe_ratio(1, 0, default=99.0) == 99.0
+
+
+class TestOverhead:
+    def build_counter(self, entries):
+        counter = CrossingCounter()
+        for kind, cast, n in entries:
+            for _ in range(n):
+                counter.record(packet(kind, cast))
+        return counter
+
+    def test_breakdown_categories(self):
+        counter = self.build_counter(
+            [
+                (PacketKind.REPL, Cast.MULTICAST, 10),
+                (PacketKind.EREPL, Cast.SUBCAST, 5),
+                (PacketKind.RQST, Cast.MULTICAST, 7),
+                (PacketKind.ERQST, Cast.UNICAST, 3),
+                (PacketKind.SESSION, Cast.MULTICAST, 100),  # excluded
+                (PacketKind.DATA, Cast.MULTICAST, 50),  # excluded
+            ]
+        )
+        breakdown = overhead_breakdown(counter)
+        assert breakdown.retransmissions == 15
+        assert breakdown.multicast_control == 7
+        assert breakdown.unicast_control == 3
+        assert breakdown.total == 25
+        assert breakdown.control == 10
+
+    def test_as_percent_of_baseline(self):
+        cesrm = OverheadBreakdown(
+            retransmissions=30, multicast_control=10, unicast_control=10
+        )
+        srm = OverheadBreakdown(
+            retransmissions=60, multicast_control=40, unicast_control=0
+        )
+        pct = cesrm.as_percent_of(srm)
+        assert pct["retransmissions"] == pytest.approx(30.0)
+        assert pct["multicast_control"] == pytest.approx(10.0)
+        assert pct["unicast_control"] == pytest.approx(10.0)
+        assert pct["total"] == pytest.approx(50.0)
+
+    def test_as_percent_of_zero_baseline(self):
+        breakdown = OverheadBreakdown(1, 1, 1)
+        empty = OverheadBreakdown(0, 0, 0)
+        assert breakdown.as_percent_of(empty)["total"] == 0.0
+
+
+class TestRoundsHistogram:
+    def test_histogram_counts_rounds(self):
+        metrics = MetricsCollector()
+        metrics.on_recovery("r1", 1, 0.5, False, 1)
+        metrics.on_recovery("r1", 2, 0.5, False, 1)
+        metrics.on_recovery("r2", 1, 0.5, True, 0)
+        metrics.on_recovery("r2", 9, 2.5, False, 3)
+        assert metrics.rounds_histogram() == {0: 1, 1: 2, 3: 1}
+
+    def test_histogram_empty(self):
+        assert MetricsCollector().rounds_histogram() == {}
+
+    def test_lossless_recovery_needs_few_rounds(self):
+        from repro.harness.config import SimulationConfig
+        from repro.harness.runner import run_trace
+        from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+        params = SynthesisParams(
+            name="rounds",
+            n_receivers=5,
+            tree_depth=3,
+            period=0.05,
+            n_packets=400,
+            target_losses=200,
+        )
+        synthetic = synthesize_trace(params, seed=3)
+        result = run_trace(synthetic, "srm", SimulationConfig())
+        histogram = result.metrics.rounds_histogram()
+        # under lossless recovery, round <= 1 dominates overwhelmingly
+        within_one = histogram.get(0, 0) + histogram.get(1, 0)
+        assert within_one / sum(histogram.values()) > 0.9

@@ -1,0 +1,55 @@
+"""Unit tests for the packet model."""
+
+from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Cast, Packet, PacketKind
+
+
+def test_payload_sizes_match_paper():
+    assert PAYLOAD_BYTES == 1024  # 1 KB payload packets (§4.3)
+    assert CONTROL_BYTES == 0  # 0 KB control packets (§4.3)
+
+
+def test_payload_carrying_kinds():
+    assert PacketKind.DATA.carries_payload
+    assert PacketKind.REPL.carries_payload
+    assert PacketKind.EREPL.carries_payload
+    assert not PacketKind.RQST.carries_payload
+    assert not PacketKind.ERQST.carries_payload
+    assert not PacketKind.SESSION.carries_payload
+
+
+def test_retransmission_kinds():
+    assert PacketKind.REPL.is_retransmission
+    assert PacketKind.EREPL.is_retransmission
+    assert not PacketKind.DATA.is_retransmission
+    assert not PacketKind.RQST.is_retransmission
+
+
+def test_recovery_control_kinds():
+    assert PacketKind.RQST.is_recovery_control
+    assert PacketKind.ERQST.is_recovery_control
+    assert not PacketKind.REPL.is_recovery_control
+    assert not PacketKind.SESSION.is_recovery_control
+
+
+def test_packet_id():
+    packet = Packet(
+        kind=PacketKind.RQST, origin="r1", source="s", seqno=42, size_bytes=0
+    )
+    assert packet.packet_id == ("s", 42)
+
+
+def test_default_cast_is_multicast():
+    packet = Packet(
+        kind=PacketKind.DATA, origin="s", source="s", seqno=0, size_bytes=1024
+    )
+    assert packet.cast is Cast.MULTICAST
+
+
+def test_annotation_defaults():
+    packet = Packet(
+        kind=PacketKind.DATA, origin="s", source="s", seqno=0, size_bytes=1024
+    )
+    assert packet.requestor is None
+    assert packet.replier is None
+    assert packet.turning_point is None
+    assert packet.payload is None

@@ -1,0 +1,105 @@
+"""Integration tests pinning the paper's headline claims (§4.4).
+
+These run two protocols over moderately sized replays of real Table 1
+rows and assert the *shapes* the paper reports: who wins, in which band.
+"""
+
+import pytest
+
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.metrics.stats import mean
+from repro.traces.synthesize import synthesize_trace
+from repro.traces.yajnik import trace_meta
+
+MAX_PACKETS = 1500
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    config = SimulationConfig(max_packets=MAX_PACKETS)
+    for name in ("WRN951113", "RFV960419"):
+        synthetic = synthesize_trace(trace_meta(name), seed=0, max_packets=MAX_PACKETS)
+        out[name] = {
+            protocol: run_trace(synthetic, protocol, config)
+            for protocol in ("srm", "cesrm")
+        }
+    return out
+
+
+def avg_latency(result) -> float:
+    return mean([result.avg_normalized_recovery_time(r) for r in result.receivers])
+
+
+class TestHeadlineClaims:
+    def test_both_protocols_fully_reliable(self, results):
+        for runs in results.values():
+            for result in runs.values():
+                assert result.unrecovered_losses == 0
+
+    def test_srm_first_round_average_in_band(self, results):
+        """§4.4: SRM's average recovery sits between 1.5 and 3.25 RTT."""
+        for runs in results.values():
+            assert 1.2 <= avg_latency(runs["srm"]) <= 3.5
+
+    def test_cesrm_cuts_recovery_time_substantially(self, results):
+        """Fig. 1: CESRM's averages are 40–70% below SRM's (we accept a
+        slightly wider 25–75% band on truncated replays)."""
+        for name, runs in results.items():
+            reduction = 1.0 - avg_latency(runs["cesrm"]) / avg_latency(runs["srm"])
+            assert 0.25 <= reduction <= 0.75, (name, reduction)
+
+    def test_expedited_gap_in_band(self, results):
+        """Fig. 2 / §3.4: expedited recoveries beat non-expedited ones by
+        about 1–2.5 RTT."""
+        for name, runs in results.items():
+            gaps = [
+                g
+                for g in (
+                    runs["cesrm"].expedited_gap(r) for r in runs["cesrm"].receivers
+                )
+                if g is not None
+            ]
+            assert gaps, name
+            assert 0.7 <= mean(gaps) <= 2.8, (name, mean(gaps))
+
+    def test_cesrm_sends_fewer_retransmissions(self, results):
+        """Fig. 4 / §1: CESRM sends 30–80% of SRM's retransmissions."""
+        for name, runs in results.items():
+            ratio = (
+                runs["cesrm"].overhead.retransmissions
+                / runs["srm"].overhead.retransmissions
+            )
+            assert 0.2 <= ratio <= 0.85, (name, ratio)
+
+    def test_cesrm_control_overhead_below_srm(self, results):
+        """Fig. 5b: CESRM's recovery-control cost is far below SRM's."""
+        for name, runs in results.items():
+            ratio = runs["cesrm"].overhead.control / runs["srm"].overhead.control
+            assert ratio < 0.8, (name, ratio)
+
+    def test_expedited_success_above_half(self, results):
+        """Fig. 5a: expedited recoveries mostly succeed (>70% in the
+        paper; >55% asserted on truncated replays)."""
+        for name, runs in results.items():
+            assert runs["cesrm"].metrics.expedited_success_rate > 0.55, name
+
+    def test_most_recoveries_are_expedited(self, results):
+        """CESRM's average sits near the expedited bound only because the
+        expedited path carries most recoveries."""
+        for name, runs in results.items():
+            records = runs["cesrm"].metrics.all_recoveries()
+            expedited = sum(1 for r in records if r.expedited)
+            assert expedited / len(records) > 0.5, name
+
+    def test_srm_identical_loss_exposure(self, results):
+        """Both protocols see the same injected losses (trace-driven)."""
+        for runs in results.values():
+            undetected_srm = sum(runs["srm"].metrics.undetected_recoveries.values())
+            undetected_ces = sum(runs["cesrm"].metrics.undetected_recoveries.values())
+            assert (
+                runs["srm"].recovered_losses + undetected_srm
+                == runs["cesrm"].recovered_losses + undetected_ces
+                == runs["srm"].total_losses
+            )

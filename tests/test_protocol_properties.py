@@ -1,0 +1,132 @@
+"""Property-based end-to-end protocol invariants.
+
+Hypothesis generates arbitrary per-packet link-drop combinations over a
+fixed tree; whatever the losses, the protocols must satisfy:
+
+* **reliability** — with lossless recovery, every receiver ends holding
+  every packet, under SRM, CESRM, and router-assisted CESRM;
+* **exactness** — the set of (receiver, packet) losses experienced equals
+  exactly what the trace prescribed (injection neither adds nor drops);
+* **conservation** — recoveries + undetected repairs = prescribed losses;
+* **no spurious traffic** — a lossless trace produces zero recovery
+  packets of any kind.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.net.packet import PacketKind
+
+from tests.helpers import make_synthetic, two_subtrees
+
+TREE = two_subtrees()
+LINKS = sorted(TREE.links)
+N_PACKETS = 12
+
+
+def combo_strategy():
+    """A random antichain of tree links (possibly empty)."""
+
+    def to_antichain(selected: list[bool]) -> frozenset:
+        chosen = [link for link, keep in zip(LINKS, selected) if keep]
+        # drop links that sit below an already-chosen link
+        out = []
+        for link in chosen:
+            _, child = link
+            if not any(
+                child == other_child or TREE.is_descendant(child, other_child)
+                for _, other_child in out
+            ):
+                out.append(link)
+        return frozenset(out)
+
+    return st.lists(
+        st.booleans(), min_size=len(LINKS), max_size=len(LINKS)
+    ).map(to_antichain)
+
+
+def combos_strategy():
+    return st.dictionaries(
+        keys=st.integers(min_value=0, max_value=N_PACKETS - 1),
+        values=combo_strategy(),
+        max_size=6,
+    ).map(lambda d: {k: v for k, v in d.items() if v})
+
+
+@st.composite
+def scenario(draw):
+    return draw(combos_strategy())
+
+
+class TestRecoveryInvariants:
+    @given(combos=scenario())
+    @settings(max_examples=12, deadline=None)
+    def test_srm_full_reliability(self, combos):
+        self._check_protocol("srm", combos)
+
+    @given(combos=scenario())
+    @settings(max_examples=12, deadline=None)
+    def test_cesrm_full_reliability(self, combos):
+        self._check_protocol("cesrm", combos)
+
+    @given(combos=scenario())
+    @settings(max_examples=8, deadline=None)
+    def test_router_assist_full_reliability(self, combos):
+        self._check_protocol("cesrm-router", combos)
+
+    def _check_protocol(self, protocol, combos):
+        synthetic = make_synthetic(
+            TREE, n_packets=N_PACKETS, period=0.08, combos=combos
+        )
+        result = run_trace(synthetic, protocol, SimulationConfig(drain_time=40.0))
+
+        # reliability: every receiver got everything
+        assert result.unrecovered_losses == 0
+
+        # conservation: experienced losses == prescribed losses
+        undetected = sum(result.metrics.undetected_recoveries.values())
+        assert (
+            result.recovered_losses + undetected == synthetic.trace.total_losses
+        )
+
+        # exactness: the right receivers lost the right packets
+        prescribed = {
+            (receiver, packet)
+            for packet, combo in combos.items()
+            for _, child in combo
+            for receiver in TREE.subtree_receivers(child)
+        }
+        experienced = {
+            (rec.host, rec.seq) for rec in result.metrics.all_recoveries()
+        }
+        assert experienced <= prescribed
+
+    @given(combos=scenario())
+    @settings(max_examples=8, deadline=None)
+    def test_lossless_trace_is_silent(self, combos):
+        """Whatever combos say, a trace with them removed produces zero
+        recovery traffic."""
+        synthetic = make_synthetic(TREE, n_packets=N_PACKETS, period=0.08, combos={})
+        result = run_trace(synthetic, "cesrm")
+        for kind in (
+            PacketKind.RQST,
+            PacketKind.REPL,
+            PacketKind.ERQST,
+            PacketKind.EREPL,
+        ):
+            assert result.metrics.total_sends(kind) == 0
+        assert result.metrics.total_sends(PacketKind.DATA) == N_PACKETS
+
+    @given(combos=scenario(), seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=8, deadline=None)
+    def test_determinism_across_protocol_runs(self, combos, seed):
+        synthetic = make_synthetic(
+            TREE, n_packets=N_PACKETS, period=0.08, combos=combos
+        )
+        config = SimulationConfig(seed=seed)
+        a = run_trace(synthetic, "cesrm", config)
+        b = run_trace(synthetic, "cesrm", config)
+        assert a.metrics.sends == b.metrics.sends
+        assert a.crossings_snapshot == b.crossings_snapshot

@@ -1,0 +1,74 @@
+"""Tests for the ASCII report renderers."""
+
+from repro.harness.config import SimulationConfig
+from repro.harness.report import (
+    bar,
+    render_recovery_timeline,
+    render_table,
+)
+from repro.harness.runner import run_trace
+
+from tests.helpers import make_synthetic, two_subtrees
+
+
+class TestPrimitives:
+    def test_render_table_alignment(self):
+        text = render_table(["A", "Blong"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "Blong" in lines[0]
+        # all rows padded to the same width
+        assert len(set(map(len, lines[:2]))) == 1
+
+    def test_cell_formatting(self):
+        text = render_table(["v"], [[1.23456], [None], ["s"]])
+        assert "1.23" in text
+        assert "-" in text
+        assert "s" in text
+
+    def test_bar_proportionality(self):
+        assert bar(5, 10, width=10) == "#" * 5
+        assert bar(10, 10, width=10) == "#" * 10
+        assert bar(0, 10, width=10) == ""
+        assert bar(1, 0) == ""
+
+    def test_bar_clamps_overflow(self):
+        assert bar(20, 10, width=10) == "#" * 10
+
+
+class TestTimeline:
+    def result(self):
+        combos = {
+            1: frozenset({("x0", "x1")}),
+            3: frozenset({("x1", "r1")}),
+            5: frozenset({("x0", "x1")}),
+        }
+        synthetic = make_synthetic(
+            two_subtrees(), n_packets=8, period=0.3, combos=combos
+        )
+        return run_trace(synthetic, "cesrm", SimulationConfig())
+
+    def test_timeline_lists_recovered_packets(self):
+        result = self.result()
+        text = render_recovery_timeline(result, "r1")
+        assert "pkt      1" in text
+        assert "pkt      3" in text
+        assert "pkt      5" in text
+        assert "RTT" in text
+
+    def test_timeline_marks_expedited(self):
+        result = self.result()
+        text = render_recovery_timeline(result, "r1")
+        # the cold-cache first loss used SRM, a later one was expedited
+        assert "." in text
+        assert "E" in text
+
+    def test_timeline_empty_receiver(self):
+        result = self.result()
+        assert "no recoveries" in render_recovery_timeline(result, "r4")
+
+    def test_timeline_row_cap(self):
+        result = self.result()
+        text = render_recovery_timeline(result, "r1", max_rows=1)
+        assert text.count("pkt ") == 1

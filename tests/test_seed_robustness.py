@@ -1,0 +1,79 @@
+"""Seed robustness: the paper's shapes are not a seed artefact.
+
+The qualitative claims (CESRM faster, cheaper, mostly-expedited) must hold
+across protocol-jitter seeds *and* across trace-synthesis seeds, and runs
+with verification enabled must behave identically to unverified ones.
+"""
+
+import pytest
+
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.metrics.stats import mean
+from repro.traces.synthesize import synthesize_trace
+from repro.traces.yajnik import trace_meta
+
+MAX_PACKETS = 1200
+
+
+def avg_latency(result) -> float:
+    return mean([result.avg_normalized_recovery_time(r) for r in result.receivers])
+
+
+class TestAcrossProtocolSeeds:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cesrm_beats_srm_for_every_jitter_seed(self, seed):
+        synthetic = synthesize_trace(
+            trace_meta("WRN951128"), seed=0, max_packets=MAX_PACKETS
+        )
+        config = SimulationConfig(seed=seed, max_packets=MAX_PACKETS)
+        srm = run_trace(synthetic, "srm", config)
+        cesrm = run_trace(synthetic, "cesrm", config)
+        assert avg_latency(cesrm) < avg_latency(srm)
+        assert cesrm.overhead.retransmissions < srm.overhead.retransmissions
+        assert srm.unrecovered_losses == cesrm.unrecovered_losses == 0
+
+
+class TestAcrossTraceSeeds:
+    @pytest.mark.parametrize("trace_seed", [0, 1, 2])
+    def test_shapes_hold_for_every_synthesis_seed(self, trace_seed):
+        synthetic = synthesize_trace(
+            trace_meta("WRN951030"), seed=trace_seed, max_packets=MAX_PACKETS
+        )
+        config = SimulationConfig(max_packets=MAX_PACKETS)
+        srm = run_trace(synthetic, "srm", config)
+        cesrm = run_trace(synthetic, "cesrm", config)
+        reduction = 1.0 - avg_latency(cesrm) / avg_latency(srm)
+        assert reduction > 0.2, trace_seed
+        assert cesrm.metrics.expedited_success_rate > 0.5, trace_seed
+
+
+class TestVerifiedRunsMatchUnverified:
+    def test_monitor_does_not_perturb_results(self):
+        """The invariant monitor observes but never mutates: metrics of a
+        verified run equal the unverified run's exactly."""
+        synthetic = synthesize_trace(
+            trace_meta("WRN951216"), seed=0, max_packets=800
+        )
+        plain = run_trace(synthetic, "cesrm", SimulationConfig(max_packets=800))
+        verified = run_trace(
+            synthetic,
+            "cesrm",
+            SimulationConfig(max_packets=800, verify_period=0.05),
+        )
+        assert plain.metrics.sends == verified.metrics.sends
+        assert plain.crossings_snapshot == verified.crossings_snapshot
+        assert [r.latency for r in plain.metrics.all_recoveries()] == [
+            r.latency for r in verified.metrics.all_recoveries()
+        ]
+
+    def test_verify_period_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(verify_period=0.0)
+
+    def test_all_protocols_pass_verification(self):
+        synthetic = synthesize_trace(trace_meta("WRN951216"), seed=0, max_packets=500)
+        config = SimulationConfig(max_packets=500, verify_period=0.1)
+        for protocol in ("srm", "srm-adaptive", "cesrm", "cesrm-router", "lms"):
+            result = run_trace(synthetic, protocol, config)
+            assert result.unrecovered_losses == 0, protocol

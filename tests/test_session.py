@@ -1,0 +1,104 @@
+"""Tests for session messages and distance estimation."""
+
+import pytest
+
+from repro.net.packet import PacketKind
+from repro.srm.session import DistanceEstimator, SessionReport
+
+from tests.helpers import deep_tree, line_tree, make_world, two_subtrees
+
+
+class TestDistanceEstimatorUnit:
+    def test_no_estimate_before_echo(self):
+        est = DistanceEstimator("a")
+        report = SessionReport(sender="b", sent_at=1.0, max_seqs={}, echoes={})
+        est.on_session(report, now=1.5)
+        assert est.get("b") is None
+        assert est.get_or("b", 0.123) == 0.123
+
+    def test_echo_produces_estimate(self):
+        # a sent a session at t1=1.0; b received it at 1.2, echoed at 2.0
+        # with delta=0.8; a receives the echo at t4=2.2.
+        est = DistanceEstimator("a")
+        report = SessionReport(
+            sender="b", sent_at=2.0, max_seqs={}, echoes={"a": (1.0, 0.8)}
+        )
+        est.on_session(report, now=2.2)
+        # rtt = (2.2 - 1.0) - 0.8 = 0.4 -> one-way 0.2
+        assert est.get("b") == pytest.approx(0.2)
+        assert est.rtt_to("b") == pytest.approx(0.4)
+
+    def test_negative_rtt_discarded(self):
+        est = DistanceEstimator("a")
+        report = SessionReport(
+            sender="b", sent_at=2.0, max_seqs={}, echoes={"a": (1.0, 5.0)}
+        )
+        est.on_session(report, now=2.2)
+        assert est.get("b") is None
+
+    def test_build_echoes_reflects_heard_sessions(self):
+        est = DistanceEstimator("a")
+        report = SessionReport(sender="b", sent_at=3.0, max_seqs={}, echoes={})
+        est.on_session(report, now=3.4)
+        echoes = est.build_echoes(now=5.0)
+        assert echoes == {"b": (3.0, pytest.approx(1.6))}
+
+    def test_estimate_updates_on_new_echo(self):
+        est = DistanceEstimator("a")
+        est.on_session(
+            SessionReport("b", 2.0, {}, {"a": (1.0, 0.8)}), now=2.2
+        )  # 0.2
+        est.on_session(
+            SessionReport("b", 5.0, {}, {"a": (4.0, 0.4)}), now=5.2
+        )  # rtt = 0.8 -> 0.4
+        assert est.get("b") == pytest.approx(0.4)
+        assert est.updates == 2
+
+    def test_known_peers(self):
+        est = DistanceEstimator("a")
+        est.on_session(SessionReport("b", 2.0, {}, {"a": (1.0, 0.8)}), now=2.2)
+        assert est.known_peers() == {"b"}
+
+
+class TestSessionExchangeIntegration:
+    def test_distances_converge_to_true_propagation(self):
+        """After warmup every host's estimate equals hop-count × delay
+        exactly (control packets have no serialization delay)."""
+        world = make_world(tree=two_subtrees(), propagation_delay=0.020)
+        world.run_warmup(periods=3.0)
+        tree = world.tree
+        for host in tree.hosts:
+            agent = world.agents[host]
+            for peer in tree.hosts:
+                if peer == host:
+                    continue
+                expected = tree.hop_distance(host, peer) * 0.020
+                assert agent.distances.get(peer) == pytest.approx(expected), (
+                    host,
+                    peer,
+                )
+
+    def test_deep_tree_distances(self):
+        world = make_world(tree=deep_tree(), propagation_delay=0.010)
+        world.run_warmup(periods=3.0)
+        agent = world.agents["r1"]
+        assert agent.distances.get("s") == pytest.approx(4 * 0.010)
+        assert agent.distances.get("r4") == pytest.approx(4 * 0.010)
+        assert agent.rtt_to_source() == pytest.approx(0.080)
+
+    def test_session_messages_are_multicast_control(self):
+        world = make_world(tree=line_tree())
+        world.run_warmup(periods=2.0)
+        sessions = world.metrics.sends_of(PacketKind.SESSION)
+        # 3 hosts × 2 periods = 6 session messages
+        assert len(sessions) == 6
+
+    def test_session_carries_max_seq_for_loss_detection(self):
+        world = make_world(tree=line_tree())
+        world.run_warmup()
+        # drop the only packet on the link into r1: r1 can't gap-detect,
+        # only the session channel reveals the loss
+        world.send_packets(1, drop={0: {("x1", "r1")}})
+        world.run(extra=10.0)
+        assert world.metrics.losses_detected["r1"] == 1
+        assert world.agents["r1"].stream.has(0)  # recovered via SRM

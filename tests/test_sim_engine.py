@@ -1,0 +1,224 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(2.0, out.append, "late")
+    sim.schedule(1.0, out.append, "early")
+    sim.schedule(3.0, out.append, "latest")
+    sim.run()
+    assert out == ["early", "late", "latest"]
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(1.0, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(4.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5, 4.25]
+    assert sim.now == 4.25
+
+
+def test_zero_delay_event_fires_after_current_instant_fifo():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append("first")
+        sim.schedule(0.0, out.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, out.append, "second")
+    sim.run()
+    assert out == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    out = []
+    event = sim.schedule(1.0, out.append, "cancelled")
+    sim.schedule(2.0, out.append, "kept")
+    event.cancel()
+    sim.run()
+    assert out == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert not event.pending
+
+
+def test_cancel_from_within_callback():
+    sim = Simulator()
+    out = []
+    later = sim.schedule(2.0, out.append, "later")
+    sim.schedule(1.0, later.cancel)
+    sim.run()
+    assert out == []
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "in")
+    sim.schedule(5.0, out.append, "out")
+    sim.run(until=2.0)
+    assert out == ["in"]
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    out = []
+    sim.schedule(2.0, out.append, "boundary")
+    sim.run(until=2.0)
+    assert out == ["boundary"]
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(3.0, out.append, "b")
+    sim.run(until=2.0)
+    sim.run()
+    assert out == ["a", "b"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    out = []
+    for i in range(5):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=3)
+    assert out == [0, 1, 2]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "first")
+    sim.schedule(1.5, sim.stop)
+    sim.schedule(2.0, out.append, "unreached")
+    sim.run()
+    assert out == ["first"]
+    sim.run()  # resumes after stop
+    assert out == ["first", "unreached"]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(2.0, out.append, "b")
+    assert sim.step()
+    assert out == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_processed_counts_fired_only():
+    sim = Simulator()
+    kept = sim.schedule(1.0, lambda: None)
+    cancelled = sim.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert sim.events_processed == 1
+    assert kept.fired
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "x")
+    sim.clear()
+    sim.run()
+    assert out == []
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    out = []
+
+    def chain(n):
+        out.append(n)
+        if n < 4:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert out == [0, 1, 2, 3, 4]
+    assert sim.now == 5.0
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, lambda a, b, c: got.append((a, b, c)), 1, "two", [3])
+    sim.run()
+    assert got == [(1, "two", [3])]
+
+
+def test_event_ordering_respects_subsecond_precision():
+    sim = Simulator()
+    out = []
+    sim.schedule(0.0001, out.append, "a")
+    sim.schedule(0.00009, out.append, "b")
+    sim.run()
+    assert out == ["b", "a"]

@@ -1,0 +1,168 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        out = []
+        timer = Timer(sim, out.append, "fired")
+        timer.start(2.0)
+        sim.run()
+        assert out == ["fired"]
+        assert sim.now == 2.0
+
+    def test_not_armed_before_start(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.expiry is None
+
+    def test_armed_while_pending(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        assert timer.armed
+        assert timer.expiry == 1.0
+
+    def test_not_armed_after_fire(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        sim.run()
+        assert not timer.armed
+
+    def test_cancel_prevents_fire(self):
+        sim = Simulator()
+        out = []
+        timer = Timer(sim, out.append, 1)
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert out == []
+        assert not timer.armed
+
+    def test_cancel_never_started_is_safe(self):
+        Timer(Simulator(), lambda: None).cancel()
+
+    def test_restart_supersedes_previous(self):
+        sim = Simulator()
+        out = []
+        timer = Timer(sim, lambda: out.append(sim.now))
+        timer.start(1.0)
+        timer.start(5.0)
+        sim.run()
+        assert out == [5.0]
+
+    def test_restart_after_fire(self):
+        sim = Simulator()
+        out = []
+        timer = Timer(sim, lambda: out.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert out == [1.0, 2.0]
+
+    def test_start_at_absolute_time(self):
+        sim = Simulator()
+        out = []
+        timer = Timer(sim, lambda: out.append(sim.now))
+        timer.start_at(3.5)
+        sim.run()
+        assert out == [3.5]
+
+    def test_callback_args_bound_at_construction(self):
+        sim = Simulator()
+        out = []
+        timer = Timer(sim, lambda a, b: out.append((a, b)), 1, 2)
+        timer.start(1.0)
+        sim.run()
+        assert out == [(1, 2)]
+
+    def test_restart_from_own_callback(self):
+        sim = Simulator()
+        fires = []
+        timer = Timer(sim, lambda: None)
+
+        def fire():
+            fires.append(sim.now)
+            if len(fires) < 3:
+                timer.start(1.0)
+
+        timer._callback = fire
+        timer.start(1.0)
+        sim.run()
+        assert fires == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTimer:
+    def test_ticks_every_period(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert timer.ticks == 3
+
+    def test_custom_first_delay(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start(first_delay=0.25)
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not timer.running
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, tick)
+        timer.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_restart_resets_schedule(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=1.5)
+        timer.start(first_delay=0.2)
+        sim.run(until=2.0)
+        assert ticks == [1.0, 1.7]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), -1.0, lambda: None)
+
+    def test_running_property(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running

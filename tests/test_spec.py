@@ -1,0 +1,128 @@
+"""Tests for the runtime invariant monitor (repro.spec)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.spec.invariants import ALL_INVARIANTS
+from repro.spec.monitor import InvariantMonitor, InvariantViolation
+from repro.srm.state import RequestState
+from repro.sim.timers import Timer
+
+from tests.helpers import make_world, two_subtrees
+from tests.test_protocol_properties import scenario, TREE, N_PACKETS
+
+
+def run_monitored(protocol: str, drop, periods: int = 3, n: int = 6):
+    world = make_world(tree=two_subtrees(), protocol=protocol)
+    monitor = InvariantMonitor(world.sim, world.agents, period=0.02)
+    monitor.start()
+    world.run_warmup()
+    world.send_packets(n, period=0.2, drop=drop)
+    world.run(extra=30.0)
+    return world, monitor
+
+
+class TestCleanRunsHold:
+    def test_srm_invariants_hold(self):
+        _, monitor = run_monitored("srm", drop={1: {("x0", "x1")}})
+        assert monitor.checks_run > 100
+
+    def test_cesrm_invariants_hold(self):
+        _, monitor = run_monitored(
+            "cesrm", drop={1: {("x0", "x1")}, 3: {("x1", "r1")}}
+        )
+        assert monitor.checks_run > 100
+
+    def test_router_assist_invariants_hold(self):
+        _, monitor = run_monitored("cesrm-router", drop={2: {("x2", "r3")}})
+        assert monitor.checks_run > 100
+
+    def test_churned_run_holds(self):
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        monitor = InvariantMonitor(world.sim, world.agents, period=0.02)
+        monitor.start()
+        world.run_warmup()
+        world.sim.schedule(0.5, world.agents["r3"].fail)
+        world.send_packets(5, period=0.3, drop={1: {("x0", "x1")}})
+        world.run(extra=20.0)
+        assert monitor.checks_run > 0
+
+
+class TestViolationsAreCaught:
+    def test_request_state_for_received_packet(self):
+        world = make_world(tree=two_subtrees())
+        monitor = InvariantMonitor(world.sim, world.agents, period=0.05)
+        world.run_warmup()
+        agent = world.agents["r1"]
+        # corrupt: pretend a received packet is still under recovery
+        agent.stream.received.add(9)
+        agent.stream.max_seq = 9
+        agent.request_states[9] = RequestState(
+            timer=Timer(world.sim, lambda: None), detected_at=0.0
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            monitor.check_now()
+        assert excinfo.value.invariant == "request-iff-missing"
+
+    def test_received_beyond_max(self):
+        world = make_world(tree=two_subtrees())
+        monitor = InvariantMonitor(world.sim, world.agents, period=0.05)
+        agent = world.agents["r1"]
+        agent.stream.received.add(50)  # max_seq stays -1
+        with pytest.raises(InvariantViolation) as excinfo:
+            monitor.check_now()
+        assert excinfo.value.invariant == "received-within-max"
+
+    def test_cache_entry_for_never_lost_packet(self):
+        from repro.core.cache import RecoveryTuple
+
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        monitor = InvariantMonitor(world.sim, world.agents, period=0.05)
+        agent = world.agents["r1"]
+        agent.cache.observe(RecoveryTuple(3, "r2", 0.06, "r3", 0.08))
+        with pytest.raises(InvariantViolation) as excinfo:
+            monitor.check_now()
+        assert excinfo.value.invariant == "cache-packets-were-lost"
+
+    def test_failed_host_with_armed_timer(self):
+        world = make_world(tree=two_subtrees())
+        monitor = InvariantMonitor(world.sim, world.agents, period=0.05)
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent._detect_loss(2)
+        agent.failed = True  # crash without the proper fail() cleanup
+        with pytest.raises(InvariantViolation) as excinfo:
+            monitor.check_now()
+        assert excinfo.value.invariant == "failed-is-silent"
+
+    def test_violation_carries_time(self):
+        world = make_world(tree=two_subtrees())
+        monitor = InvariantMonitor(world.sim, world.agents, period=0.05)
+        world.run_warmup()
+        world.agents["r1"].stream.received.add(50)
+        with pytest.raises(InvariantViolation) as excinfo:
+            monitor.check_now()
+        assert excinfo.value.time == world.sim.now
+
+
+class TestMonitoredFuzz:
+    @given(combos=scenario())
+    @settings(max_examples=6, deadline=None)
+    def test_cesrm_fuzz_under_monitor(self, combos):
+        """Random loss scenarios never break an invariant."""
+        from repro.harness.config import SimulationConfig
+        from repro.harness.runner import build_simulation
+        from tests.helpers import make_synthetic
+
+        synthetic = make_synthetic(TREE, n_packets=N_PACKETS, period=0.08, combos=combos)
+        simulation = build_simulation(synthetic, "cesrm", SimulationConfig())
+        monitor = InvariantMonitor(simulation.sim, simulation.agents, period=0.05)
+        monitor.start()
+        simulation.sim.run(until=simulation.end_time)
+        assert monitor.checks_run > 0
+
+
+def test_all_invariants_have_unique_names():
+    names = [inv.name for inv in ALL_INVARIANTS]
+    assert len(names) == len(set(names))
+    assert len(names) >= 9

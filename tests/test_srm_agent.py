@@ -1,0 +1,442 @@
+"""Behavioural tests for the SRM agent (§2).
+
+Most tests run a tiny world (tests.helpers.make_world) through session
+warmup so distances are exact, then inject controlled losses and assert on
+the timing and counts of requests, replies, and recoveries.  A few tests
+drive the agent surgically by delivering crafted packets.
+"""
+
+import pytest
+
+from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
+
+from tests.helpers import make_world, two_subtrees
+
+TX = PAYLOAD_BYTES * 8 / 1.5e6  # payload serialization per hop
+D = 0.020  # per-link propagation in these tests
+
+
+def rqst(origin: str, seq: int, requestor_dist: float = 0.04) -> Packet:
+    return Packet(
+        kind=PacketKind.RQST,
+        origin=origin,
+        source="s",
+        seqno=seq,
+        size_bytes=CONTROL_BYTES,
+        requestor=origin,
+        requestor_dist=requestor_dist,
+    )
+
+
+def repl(origin: str, seq: int, requestor: str = "r1") -> Packet:
+    return Packet(
+        kind=PacketKind.REPL,
+        origin=origin,
+        source="s",
+        seqno=seq,
+        size_bytes=PAYLOAD_BYTES,
+        requestor=requestor,
+        requestor_dist=0.04,
+        replier=origin,
+        replier_dist=0.04,
+    )
+
+
+class TestLossDetection:
+    def test_gap_detection(self):
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        detections = [d for d in world.metrics.detection_log if d[1] == "r1"]
+        assert [(host, seq) for _, host, seq in detections] == [("r1", 1)]
+
+    def test_detection_time_is_arrival_of_next_packet(self):
+        # 20 ms period so the gap closes before any session message can
+        # reveal the loss first (sessions also detect losses — see below)
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, period=0.02, drop={1: {("x1", "r1")}})
+        world.run()
+        (t_detect, _, _), = [d for d in world.metrics.detection_log if d[1] == "r1"]
+        # packet 2 leaves at data_start + 0.04 and arrives 2 hops later
+        expected = world.data_start + 2 * 0.02 + 2 * (TX + D)
+        assert t_detect == pytest.approx(expected, abs=1e-6)
+
+    def test_session_message_can_beat_gap_detection(self):
+        # with an 80 ms period the source session at +0.125 reports the
+        # missing packet before the next data packet closes the gap
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, period=0.08, drop={1: {("x1", "r1")}})
+        world.run()
+        (t_detect, _, _), = [d for d in world.metrics.detection_log if d[1] == "r1"]
+        gap_arrival = world.data_start + 2 * 0.08 + 2 * (TX + D)
+        assert t_detect < gap_arrival
+
+    def test_burst_detected_together(self):
+        world = make_world()
+        world.run_warmup()
+        drop = {i: {("x1", "r1")} for i in (1, 2, 3)}
+        world.send_packets(5, period=0.02, drop=drop)
+        world.run()
+        detections = [d for d in world.metrics.detection_log if d[1] == "r1"]
+        seqs = sorted(seq for _, _, seq in detections)
+        assert seqs == [1, 2, 3]
+        times = {t for t, _, _ in detections}
+        assert len(times) == 1  # all detected when packet 4 arrives
+
+    def test_source_never_detects(self):
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("s", "x1")}})
+        world.run()
+        assert world.metrics.losses_detected["s"] == 0
+
+    def test_unaffected_receiver_detects_nothing(self):
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        assert world.metrics.losses_detected["r2"] == 0
+
+
+class TestRequestScheduling:
+    def test_request_fires_within_c1_c2_interval(self):
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        (t_detect, _, _), = [d for d in world.metrics.detection_log if d[1] == "r1"]
+        requests = world.metrics.sends_of(PacketKind.RQST, host="r1")
+        assert len(requests) == 1
+        delay = requests[0][0] - t_detect
+        d_hs = 2 * D  # r1 is two hops from s
+        assert 2 * d_hs <= delay <= 4 * d_hs  # [C1 d, (C1+C2) d]
+
+    def test_request_annotated_with_requestor_and_distance(self):
+        world = make_world()
+        world.run_warmup()
+
+        captured = []
+        source_receive = world.agents["s"].receive
+
+        def spy(packet):
+            if packet.kind is PacketKind.RQST:
+                captured.append(packet)
+            source_receive(packet)
+
+        world.agents["s"].receive = spy
+        world.network._agents["s"] = world.agents["s"]  # rebind unchanged
+        world.network._agents["s"].receive = spy
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        assert captured
+        packet = captured[0]
+        assert packet.requestor == "r1"
+        assert packet.requestor_dist == pytest.approx(2 * D)
+
+    def test_shared_loss_single_reply(self):
+        """Both receivers lose the packet; requests may or may not be
+        suppressed (jitter), but reply abstinence at the source must keep
+        the reply count at one."""
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("s", "x1")}})
+        world.run()
+        replies = world.metrics.sends_of(PacketKind.REPL)
+        assert len(replies) == 1
+        assert replies[0][1] == "s"
+        for receiver in ("r1", "r2"):
+            assert world.agents[receiver].stream.has(1)
+
+    def test_backoff_doubles_when_replies_never_arrive(self):
+        world = make_world()
+        world.run_warmup()
+        base_drop = {1: {("x1", "r1")}}
+
+        def drop_fn(u, v, packet):
+            if packet.kind is PacketKind.DATA:
+                return (u, v) in base_drop.get(packet.seqno, ())
+            return packet.kind is PacketKind.REPL  # repairs never survive
+
+        world.send_packets(3, drop=base_drop)
+        world.network.drop_fn = drop_fn
+        world.run(extra=60.0)
+        requests = world.metrics.sends_of(PacketKind.RQST, host="r1")
+        assert len(requests) >= 4
+        gaps = [
+            requests[i + 1][0] - requests[i][0] for i in range(len(requests) - 1)
+        ]
+        # each round's interval doubles: gap_{i+1} / gap_i in [1, 4] but the
+        # *sum pattern* must grow; compare first and later gaps
+        assert gaps[2] > 2 * gaps[0]
+
+    def test_foreign_request_backs_off_scheduled_request(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        # create a request state surgically
+        agent._detect_loss(5)
+        state = agent.request_states[5]
+        assert state.backoff == 0
+        first_expiry = state.timer.expiry
+        # deliver a foreign request after the abstinence period (none yet)
+        agent.receive(rqst("r2", 5))
+        assert state.backoff == 1
+        assert state.timer.expiry != first_expiry
+        assert state.abstain_until > world.sim.now
+
+    def test_abstinence_prevents_double_backoff(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent._detect_loss(5)
+        agent.receive(rqst("r2", 5))
+        state = agent.request_states[5]
+        assert state.backoff == 1
+        agent.receive(rqst("r2", 5))  # still inside abstinence
+        assert state.backoff == 1
+
+    def test_backoff_resumes_after_abstinence(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent._detect_loss(5)
+        agent.receive(rqst("r2", 5))
+        state = agent.request_states[5]
+        # wait out the abstinence period, then a new foreign request
+        world.sim.schedule(state.abstain_until - world.sim.now + 0.001,
+                           agent.receive, rqst("r2", 5))
+        world.sim.run(until=state.abstain_until + 0.002)
+        assert state.backoff == 2
+
+
+class TestDetectOnRequest:
+    def test_foreign_request_reveals_loss(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent.receive(rqst("r2", 7))
+        assert 7 in agent.request_states
+        # scheduled already backed off (suppressed by the heard request)
+        assert agent.request_states[7].backoff == 1
+        # the request also reveals packets 0..6 are missing (gap detection)
+        assert world.metrics.losses_detected["r1"] == 8
+        assert agent.request_states[0].backoff == 0  # normal first round
+
+    def test_disabled_flag_ignores_foreign_request(self):
+        world = make_world(detect_on_request=False)
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent.receive(rqst("r2", 7))
+        assert 7 not in agent.request_states
+
+    def test_request_also_advances_stream_knowledge(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent.receive(rqst("r2", 3))
+        # packets 0..2 are also revealed missing
+        assert set(agent.request_states) == {0, 1, 2, 3}
+
+
+class TestReplyScheduling:
+    def test_reply_fires_within_d1_d2_interval(self):
+        world = make_world(tree=two_subtrees())
+        world.run_warmup()
+        # r1 loses a packet; r2 (2 hops away) can repair
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        requests = world.metrics.sends_of(PacketKind.RQST, host="r1")
+        replies = world.metrics.sends_of(PacketKind.REPL)
+        assert requests and replies
+        # whoever replied, its delay from hearing the request respects
+        # [D1 d', (D1+D2) d'] for its own distance d' — verified loosely:
+        # the earliest possible reply is D1*min_dist after the request
+        # reaches the nearest replier.
+        t_request = requests[0][0]
+        t_reply = replies[0][0]
+        assert t_reply >= t_request + 2 * D + 1.0 * (2 * D) - 1e-9
+
+    def test_duplicate_requests_within_abstinence_ignored(self):
+        world = make_world()
+        world.run_warmup()
+        source = world.agents["s"]
+        source.send_data(0)
+        world.run(extra=0.5)
+        source.receive(rqst("r1", 0))
+        world.run(extra=0.5)  # reply fires
+        replies = world.metrics.sends_of(PacketKind.REPL, host="s")
+        assert len(replies) == 1
+        source.receive(rqst("r2", 0))  # within D3·d' hold
+        world.run(extra=0.05)
+        assert len(world.metrics.sends_of(PacketKind.REPL, host="s")) == 1
+
+    def test_new_request_after_abstinence_answered(self):
+        world = make_world()
+        world.run_warmup()
+        source = world.agents["s"]
+        source.send_data(0)
+        world.run(extra=0.5)
+        source.receive(rqst("r1", 0))
+        world.run(extra=0.5)
+        state = source.reply_states[0]
+        assert not state.pending(world.sim.now)  # hold expired during run
+        source.receive(rqst("r2", 0))
+        world.run(extra=0.5)
+        assert len(world.metrics.sends_of(PacketKind.REPL, host="s")) == 2
+
+    def test_hearing_reply_cancels_scheduled_reply(self):
+        world = make_world(tree=two_subtrees())
+        world.run_warmup()
+        agent = world.agents["r2"]
+        world.agents["s"].send_data(0)
+        world.run(extra=0.5)
+        agent.receive(rqst("r1", 0))
+        assert agent.reply_states[0].scheduled()
+        agent.receive(repl("r3", 0))
+        assert not agent.reply_states[0].scheduled()
+        assert agent.reply_states[0].pending(world.sim.now)
+
+    def test_replier_without_packet_does_not_reply(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]  # r1 never received packet 0
+        agent.receive(rqst("r2", 0))
+        world.run(extra=5.0)
+        assert world.metrics.sends_of(PacketKind.REPL, host="r1") == []
+
+
+class TestRecovery:
+    def test_loss_recovered_and_latency_recorded(self):
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        records = world.metrics.recoveries["r1"]
+        assert len(records) == 1
+        record = records[0]
+        assert record.seq == 1
+        assert not record.expedited
+        d_hs = 2 * D
+        # latency >= first-round minimum: C1·d (request) + d + D1·d' + d'
+        assert record.latency >= 2 * d_hs + d_hs / 2
+        # and below the analytic first-round cap plus serialization slack
+        cap = 4 * d_hs + 2 * d_hs + 2 * (2 * D) + 6 * TX
+        assert record.latency <= cap
+
+    def test_recovery_via_reply_marks_received(self):
+        world = make_world()
+        world.run_warmup()
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        assert world.agents["r1"].stream.has(1)
+        assert 1 in world.agents["r1"].stream.ever_lost
+        assert world.agents["r1"].unrecovered_losses() == []
+
+    def test_duplicate_reply_counted(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        world.agents["s"].send_data(0)
+        world.run(extra=0.5)
+        agent.receive(repl("s", 0))
+        assert world.metrics.duplicate_replies["r1"] == 1
+
+    def test_undetected_recovery(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent.receive(repl("s", 5))
+        assert agent.stream.has(5)
+        assert world.metrics.undetected_recoveries["r1"] == 1
+        assert 5 in agent.stream.ever_lost
+
+    def test_late_data_arrival_cancels_request(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent._detect_loss(3)
+        assert 3 in agent.request_states
+        packet = Packet(
+            kind=PacketKind.DATA,
+            origin="s",
+            source="s",
+            seqno=3,
+            size_bytes=PAYLOAD_BYTES,
+        )
+        agent.receive(packet)
+        assert 3 not in agent.request_states
+        assert world.metrics.late_arrivals["r1"] == 1
+
+    def test_unrecoverable_loss_reported(self):
+        world = make_world()
+        world.run_warmup()
+        base_drop = {1: {("x1", "r1")}}
+
+        def drop_fn(u, v, packet):
+            if packet.kind is PacketKind.DATA:
+                return (u, v) in base_drop.get(packet.seqno, ())
+            return packet.kind in (PacketKind.RQST, PacketKind.REPL)
+
+        world.send_packets(3, drop=base_drop)
+        world.network.drop_fn = drop_fn
+        world.run(extra=20.0)
+        assert world.agents["r1"].unrecovered_losses() == [1]
+
+    def test_all_losses_recovered_in_lossless_recovery(self):
+        world = make_world(tree=two_subtrees())
+        world.run_warmup()
+        drop = {
+            1: {("x0", "x1")},
+            2: {("x1", "r1")},
+            4: {("x2", "r3"), ("x1", "r2")},
+            5: {("s", "x0")},
+        }
+        world.send_packets(8, drop=drop)
+        world.run(extra=30.0)
+        for receiver in world.tree.receivers:
+            assert world.agents[receiver].unrecovered_losses() == []
+            for seq in range(8):
+                assert world.agents[receiver].stream.has(seq)
+
+
+class TestLifecycle:
+    def test_stop_cancels_pending_timers(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        agent._detect_loss(3)
+        agent.stop()
+        assert not agent.request_states[3].timer.armed
+        before = len(world.metrics.sends_of(PacketKind.RQST, host="r1"))
+        world.run(extra=10.0)
+        assert len(world.metrics.sends_of(PacketKind.RQST, host="r1")) == before
+
+    def test_any_host_may_source_its_own_stream(self):
+        """SRM is an any-source protocol: a receiver may send data of its
+        own stream; other hosts track it under that host's source id."""
+        world = make_world()
+        world.run_warmup()
+        world.agents["r1"].send_data(0)
+        world.run(extra=0.5)
+        assert world.agents["r2"].source_state("r1").stream.has(0)
+        assert world.agents["s"].source_state("r1").stream.has(0)
+        # the primary-source stream is unaffected
+        assert not world.agents["r2"].stream.has(0)
+
+    def test_duplicate_data_counted(self):
+        world = make_world()
+        world.run_warmup()
+        agent = world.agents["r1"]
+        packet = Packet(
+            kind=PacketKind.DATA,
+            origin="s",
+            source="s",
+            seqno=0,
+            size_bytes=PAYLOAD_BYTES,
+        )
+        agent.receive(packet)
+        agent.receive(packet)
+        assert agent.stream.duplicates == 1

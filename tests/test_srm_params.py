@@ -1,0 +1,75 @@
+"""Tests for SRM scheduling constants."""
+
+import pytest
+
+from repro.srm.constants import SrmParams
+
+
+def test_paper_defaults():
+    params = SrmParams()
+    assert params.c1 == 2.0
+    assert params.c2 == 2.0
+    assert params.c3 == 1.5
+    assert params.d1 == 1.0
+    assert params.d2 == 1.0
+    assert params.d3 == 1.5
+
+
+def test_request_interval_round_zero():
+    lo, hi = SrmParams().request_interval(distance=0.1, backoff=0)
+    assert lo == pytest.approx(0.2)  # C1 * d
+    assert hi == pytest.approx(0.4)  # (C1 + C2) * d
+
+
+def test_request_interval_doubles_per_backoff():
+    params = SrmParams()
+    for k in range(5):
+        lo, hi = params.request_interval(0.1, k)
+        assert lo == pytest.approx((2**k) * 0.2)
+        assert hi == pytest.approx((2**k) * 0.4)
+
+
+def test_request_interval_backoff_capped():
+    params = SrmParams(max_backoff=4)
+    assert params.request_interval(0.1, 100) == params.request_interval(0.1, 4)
+
+
+def test_reply_interval():
+    lo, hi = SrmParams().reply_interval(distance=0.2)
+    assert lo == pytest.approx(0.2)  # D1 * d'
+    assert hi == pytest.approx(0.4)  # (D1 + D2) * d'
+
+
+def test_backoff_abstinence():
+    params = SrmParams()
+    assert params.backoff_abstinence(0.1, 0) == pytest.approx(0.15)  # C3 * d
+    assert params.backoff_abstinence(0.1, 2) == pytest.approx(0.6)  # 4 * C3 * d
+
+
+def test_reply_abstinence():
+    assert SrmParams().reply_abstinence(0.2) == pytest.approx(0.3)  # D3 * d'
+
+
+def test_negative_constants_rejected():
+    with pytest.raises(ValueError):
+        SrmParams(c1=-1.0)
+    with pytest.raises(ValueError):
+        SrmParams(d3=-0.5)
+
+
+def test_default_distance_positive():
+    with pytest.raises(ValueError):
+        SrmParams(default_distance=0.0)
+
+
+def test_max_backoff_at_least_one():
+    with pytest.raises(ValueError):
+        SrmParams(max_backoff=0)
+
+
+def test_custom_parameters_flow_through():
+    params = SrmParams(c1=1.0, c2=4.0, d1=0.5, d2=2.0)
+    lo, hi = params.request_interval(0.1, 0)
+    assert (lo, hi) == (pytest.approx(0.1), pytest.approx(0.5))
+    lo, hi = params.reply_interval(0.1)
+    assert (lo, hi) == (pytest.approx(0.05), pytest.approx(0.25))

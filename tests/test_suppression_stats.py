@@ -1,0 +1,128 @@
+"""Statistical behaviour of SRM's suppression machinery (§2.1–2.2).
+
+These tests exercise the *purpose* of the C/D constants over many loss
+events on a topology where all receivers are equidistant from the source
+(deterministic suppression can't help, so probabilistic suppression has to
+do the work):
+
+* with C2 = 0 every co-loser fires its request at the same instant —
+  duplicates everywhere;
+* with the paper's C2 = 2 most duplicate requests are suppressed;
+* replies behave symmetrically under D2.
+"""
+
+from repro.net.packet import PacketKind
+from repro.net.topology import MulticastTree
+from repro.srm.constants import SrmParams
+
+from tests.helpers import make_world, two_subtrees
+
+
+def star_tree(n_receivers: int = 6) -> MulticastTree:
+    """s -> x1 -> {r1..rn}: every receiver equidistant from everything."""
+    parents = {"x1": "s"}
+    receivers = []
+    for i in range(1, n_receivers + 1):
+        rid = f"r{i}"
+        parents[rid] = "x1"
+        receivers.append(rid)
+    return MulticastTree("s", parents, receivers)
+
+
+def run_shared_losses(params: SrmParams, n_events: int = 30, seed: int = 0):
+    """All receivers lose every odd packet (shared loss on (s, x1))."""
+    world = make_world(tree=star_tree(), params=params, seed=seed)
+    world.run_warmup()
+    drop = {2 * k + 1: {("s", "x1")} for k in range(n_events)}
+    world.send_packets(2 * n_events + 1, period=0.4, drop=drop)
+    world.run(extra=30.0)
+    requests = len(world.metrics.sends_of(PacketKind.RQST))
+    replies = len(world.metrics.sends_of(PacketKind.REPL))
+    unrecovered = sum(
+        len(world.agents[r].unrecovered_losses()) for r in world.tree.receivers
+    )
+    return requests, replies, unrecovered, n_events
+
+
+class TestProbabilisticRequestSuppression:
+    def test_no_jitter_means_duplicate_storms(self):
+        """C2 = 0 with equidistant receivers: everyone's timer expires at
+        the same instant, so (nearly) every co-loser requests."""
+        params = SrmParams(c1=2.0, c2=0.0)
+        requests, _, unrecovered, events = run_shared_losses(params)
+        assert unrecovered == 0
+        assert requests / events > 4.0  # ~all 6 receivers fire
+
+    def test_paper_jitter_suppresses_most_duplicates(self):
+        params = SrmParams(c1=2.0, c2=2.0)
+        requests, _, unrecovered, events = run_shared_losses(params)
+        assert unrecovered == 0
+        # 6 co-losers per event; the paper's jitter suppresses over half
+        assert requests / events < 4.5
+
+    def test_wider_jitter_suppresses_harder_but_never_below_one(self):
+        narrow, _, _, events = run_shared_losses(SrmParams(c1=2.0, c2=1.0))
+        wide, _, _, _ = run_shared_losses(SrmParams(c1=2.0, c2=6.0))
+        assert wide <= narrow
+        assert wide >= events  # at least one request per loss event
+
+
+class TestReplySuppression:
+    def test_source_is_sole_replier_for_shared_losses(self):
+        """The drop is on (s, x1): only the source holds the packet, and
+        reply abstinence keeps replies near one per event even when
+        duplicate requests storm in (a request arriving after the D3·d'
+        hold expires legitimately earns a second reply)."""
+        params = SrmParams(c1=2.0, c2=0.0)  # force duplicate requests
+        _, replies, unrecovered, events = run_shared_losses(params)
+        assert unrecovered == 0
+        assert events <= replies <= 1.5 * events
+
+    def test_star_topology_defeats_reply_suppression(self):
+        """On a star every replier is equidistant from the requestor, so
+        the reply windows close *before* any reply can cross the tree —
+        suppression physically cannot engage and every holder replies.
+        This is precisely the duplicate-reply pathology that inflates
+        SRM's Figure 4 counts (and that CESRM's single expedited reply
+        eliminates)."""
+        world = make_world(tree=star_tree(), params=SrmParams(), seed=1)
+        world.run_warmup()
+        n_events = 20
+        drop = {2 * k + 1: {("x1", "r1")} for k in range(n_events)}
+        world.send_packets(2 * n_events + 1, period=0.4, drop=drop)
+        world.run(extra=30.0)
+        replies = len(world.metrics.sends_of(PacketKind.REPL))
+        assert world.agents["r1"].unrecovered_losses() == []
+        # all 6 holders (5 receivers + source) reply, every time
+        assert replies == 6 * n_events
+
+    def test_heterogeneous_distances_enable_reply_suppression(self):
+        """With varied replier distances (two_subtrees), near repliers
+        fire inside far repliers' windows and suppress them: well below
+        the 4-holder population."""
+        world = make_world(tree=two_subtrees(), params=SrmParams(), seed=1)
+        world.run_warmup()
+        n_events = 20
+        drop = {2 * k + 1: {("x1", "r1")} for k in range(n_events)}
+        world.send_packets(2 * n_events + 1, period=0.4, drop=drop)
+        world.run(extra=30.0)
+        replies = len(world.metrics.sends_of(PacketKind.REPL))
+        assert world.agents["r1"].unrecovered_losses() == []
+        assert n_events <= replies < 3.5 * n_events
+
+
+class TestDeterministicSuppression:
+    def test_closer_requestor_usually_wins(self):
+        """On a chain, the receiver closer to the source fires first
+        (deterministic suppression) for shared losses."""
+        parents = {"x1": "s", "r1": "x1", "x2": "x1", "r2": "x2"}
+        tree = MulticastTree("s", parents, ["r1", "r2"])
+        world = make_world(tree=tree, params=SrmParams(c1=2.0, c2=0.5), seed=2)
+        world.run_warmup()
+        n_events = 20
+        drop = {2 * k + 1: {("s", "x1")} for k in range(n_events)}
+        world.send_packets(2 * n_events + 1, period=0.4, drop=drop)
+        world.run(extra=30.0)
+        near = len(world.metrics.sends_of(PacketKind.RQST, host="r1"))
+        far = len(world.metrics.sends_of(PacketKind.RQST, host="r2"))
+        assert near > far

@@ -1,0 +1,209 @@
+"""Unit and property tests for the multicast tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import (
+    MulticastTree,
+    NodeKind,
+    TopologyError,
+    build_balanced_tree,
+    build_random_tree,
+)
+
+from tests.helpers import deep_tree, line_tree, two_subtrees
+
+
+class TestConstruction:
+    def test_line_tree_roles(self):
+        tree = line_tree()
+        assert tree.kind("s") is NodeKind.SOURCE
+        assert tree.kind("x1") is NodeKind.ROUTER
+        assert tree.kind("r1") is NodeKind.RECEIVER
+
+    def test_hosts_are_source_then_receivers(self):
+        assert line_tree().hosts == ["s", "r1", "r2"]
+
+    def test_links_are_parent_child(self):
+        assert set(line_tree().links) == {("s", "x1"), ("x1", "r1"), ("x1", "r2")}
+
+    def test_source_with_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"s": "x", "x": "s"}, [])
+
+    def test_duplicate_receivers_rejected(self):
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"x1": "s", "r1": "x1"}, ["r1", "r1"])
+
+    def test_source_as_receiver_rejected(self):
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"x1": "s", "r1": "x1"}, ["s"])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"r1": "ghost"}, ["r1"])
+
+    def test_unreachable_node_rejected(self):
+        # a -> b cycle disconnected from s
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"r1": "s", "a": "b", "b": "a"}, ["r1"])
+
+    def test_internal_receiver_rejected(self):
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"r1": "s", "r2": "r1"}, ["r1", "r2"])
+
+    def test_leaf_router_rejected(self):
+        with pytest.raises(TopologyError):
+            MulticastTree("s", {"x1": "s", "x2": "x1", "r1": "x1"}, ["r1"])
+
+    def test_unknown_node_query_raises(self):
+        with pytest.raises(TopologyError):
+            line_tree().kind("nope")
+
+
+class TestQueries:
+    def test_depth(self):
+        assert line_tree().depth == 2
+        assert two_subtrees().depth == 3
+        assert deep_tree().depth == 4
+
+    def test_node_depths(self):
+        tree = deep_tree()
+        assert tree.node_depth("s") == 0
+        assert tree.node_depth("x1") == 1
+        assert tree.node_depth("r1") == 4
+        assert tree.node_depth("r4") == 2
+
+    def test_parent_and_children(self):
+        tree = two_subtrees()
+        assert tree.parent("x1") == "x0"
+        assert tree.parent("s") is None
+        assert sorted(tree.children("x0")) == ["x1", "x2"]
+        assert tree.children("r1") == []
+
+    def test_neighbors_include_parent_and_children(self):
+        tree = two_subtrees()
+        assert sorted(tree.neighbors("x0")) == ["s", "x1", "x2"]
+        assert tree.neighbors("s") == ["x0"]
+        assert tree.neighbors("r1") == ["x1"]
+
+    def test_subtree_receivers(self):
+        tree = two_subtrees()
+        assert tree.subtree_receivers("x1") == {"r1", "r2"}
+        assert tree.subtree_receivers("x0") == {"r1", "r2", "r3", "r4"}
+        assert tree.subtree_receivers("r3") == {"r3"}
+        assert tree.subtree_receivers("s") == set(tree.receivers)
+
+    def test_is_descendant(self):
+        tree = two_subtrees()
+        assert tree.is_descendant("r1", "x0")
+        assert tree.is_descendant("r1", "s")
+        assert not tree.is_descendant("r1", "x2")
+        assert not tree.is_descendant("x0", "r1")
+        assert not tree.is_descendant("s", "s")
+
+    def test_ancestors(self):
+        tree = two_subtrees()
+        assert tree.ancestors("r1") == ["x1", "x0", "s"]
+        assert tree.ancestors("s") == []
+
+    def test_lca(self):
+        tree = two_subtrees()
+        assert tree.lca("r1", "r2") == "x1"
+        assert tree.lca("r1", "r3") == "x0"
+        assert tree.lca("r1", "s") == "s"
+        assert tree.lca("r1", "r1") == "r1"
+        assert tree.lca("x1", "r2") == "x1"
+
+    def test_path(self):
+        tree = two_subtrees()
+        assert tree.path("r1", "r3") == ("r1", "x1", "x0", "x2", "r3")
+        assert tree.path("s", "r1") == ("s", "x0", "x1", "r1")
+        assert tree.path("r1", "r1") == ("r1",)
+
+    def test_path_is_cached_and_consistent(self):
+        tree = two_subtrees()
+        assert tree.path("r1", "r3") is tree.path("r1", "r3")
+        assert tree.path("r1", "r3") == tuple(reversed(tree.path("r3", "r1")))
+
+    def test_hop_distance(self):
+        tree = two_subtrees()
+        assert tree.hop_distance("r1", "r2") == 2
+        assert tree.hop_distance("r1", "r3") == 4
+        assert tree.hop_distance("s", "r1") == 3
+        assert tree.hop_distance("r1", "r1") == 0
+
+    def test_links_upstream_of(self):
+        tree = two_subtrees()
+        assert tree.links_upstream_of(("x1", "r1")) == [("s", "x0"), ("x0", "x1")]
+        assert tree.links_upstream_of(("s", "x0")) == []
+        with pytest.raises(TopologyError):
+            tree.links_upstream_of(("x1", "r3"))
+
+    def test_downstream_links(self):
+        tree = two_subtrees()
+        assert set(tree.downstream_links("x1")) == {("x1", "r1"), ("x1", "r2")}
+        assert set(tree.downstream_links("r1")) == set()
+        assert len(tree.downstream_links("s")) == len(tree.links)
+
+    def test_to_parent_map_roundtrip(self):
+        tree = two_subtrees()
+        rebuilt = MulticastTree("s", tree.to_parent_map(), list(tree.receivers))
+        assert set(rebuilt.links) == set(tree.links)
+
+
+class TestBalancedBuilder:
+    def test_receiver_count(self):
+        tree = build_balanced_tree(branching=2, depth=3)
+        assert len(tree.receivers) == 8
+        assert tree.depth == 3
+
+    def test_branching_three(self):
+        tree = build_balanced_tree(branching=3, depth=2)
+        assert len(tree.receivers) == 9
+        assert len(tree.routers) == 3
+
+    def test_depth_one_receivers_at_source(self):
+        tree = build_balanced_tree(branching=2, depth=1)
+        assert len(tree.receivers) == 2
+        assert tree.routers == []
+
+    def test_invalid_args(self):
+        with pytest.raises(TopologyError):
+            build_balanced_tree(depth=0)
+        with pytest.raises(TopologyError):
+            build_balanced_tree(branching=0)
+
+
+class TestRandomBuilder:
+    @given(
+        n_receivers=st.integers(min_value=1, max_value=20),
+        depth=st.integers(min_value=2, max_value=7),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_receivers_and_depth(self, n_receivers, depth, seed):
+        tree = build_random_tree(n_receivers, depth, random.Random(seed))
+        assert len(tree.receivers) == n_receivers
+        assert tree.depth == depth
+        # receivers are exactly the leaves
+        for node in tree.nodes:
+            is_leaf = not tree.children(node)
+            if node in tree.receivers:
+                assert is_leaf
+            elif node != tree.source:
+                assert not is_leaf
+
+    def test_deterministic_for_seed(self):
+        a = build_random_tree(10, 5, random.Random(3))
+        b = build_random_tree(10, 5, random.Random(3))
+        assert a.to_parent_map() == b.to_parent_map()
+
+    def test_invalid_args(self):
+        with pytest.raises(TopologyError):
+            build_random_tree(0, 3, random.Random(0))
+        with pytest.raises(TopologyError):
+            build_random_tree(5, 1, random.Random(0))

@@ -1,0 +1,110 @@
+"""Tests for trace serialization."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces.io import (
+    FORMAT_TAG,
+    dump_trace,
+    load_trace,
+    parse_trace,
+    rle_decode,
+    rle_encode,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.traces.model import LossTrace, TraceError
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+from tests.helpers import line_tree
+
+
+def sample_trace() -> LossTrace:
+    return LossTrace(
+        "io-test",
+        line_tree(),
+        0.04,
+        {"r1": bytes([0, 1, 1, 0]), "r2": bytes([1, 0, 0, 0])},
+    )
+
+
+class TestRle:
+    def test_encode_starts_with_zero_run(self):
+        assert rle_encode(bytes([1, 1, 0])) == [0, 2, 1]
+
+    def test_encode_simple(self):
+        assert rle_encode(bytes([0, 0, 1, 0])) == [2, 1, 1]
+
+    def test_decode_checks_length(self):
+        with pytest.raises(TraceError):
+            rle_decode([2, 1], 5)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(TraceError):
+            rle_decode([-1, 6], 5)
+
+    @given(st.binary(max_size=500).map(lambda b: bytes(x & 1 for x in b)))
+    def test_roundtrip(self, seq):
+        assert rle_decode(rle_encode(seq), len(seq)) == seq
+
+    def test_bursty_sequences_compress(self):
+        seq = bytes([0] * 500 + [1] * 20 + [0] * 480)
+        assert len(rle_encode(seq)) == 3
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        trace = sample_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.name == trace.name
+        assert rebuilt.period == trace.period
+        assert rebuilt.loss_seqs == trace.loss_seqs
+        assert rebuilt.tree.to_parent_map() == trace.tree.to_parent_map()
+        assert rebuilt.tree.receivers == trace.tree.receivers
+
+    def test_format_tag_enforced(self):
+        data = trace_to_dict(sample_trace())
+        data["format"] = "other"
+        with pytest.raises(TraceError):
+            trace_from_dict(data)
+
+    def test_dict_is_json_serializable(self):
+        json.dumps(trace_to_dict(sample_trace()))
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.loss_seqs == trace.loss_seqs
+
+    def test_stream_roundtrip(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        assert parse_trace(buffer).loss_seqs == trace.loss_seqs
+
+    def test_synthetic_trace_roundtrip(self, tmp_path):
+        params = SynthesisParams(
+            name="synth-io",
+            n_receivers=5,
+            tree_depth=3,
+            period=0.08,
+            n_packets=800,
+            target_losses=300,
+        )
+        synthetic = synthesize_trace(params, seed=1)
+        path = tmp_path / "synth.json"
+        save_trace(synthetic.trace, path)
+        loaded = load_trace(path)
+        assert loaded.total_losses == synthetic.trace.total_losses
+        assert loaded.n_packets == 800
+        assert FORMAT_TAG in path.read_text()

@@ -1,0 +1,138 @@
+"""Unit tests for trace data structures."""
+
+import pytest
+
+from repro.traces.model import LossTrace, TraceError
+
+from tests.helpers import line_tree, make_synthetic, two_subtrees
+
+
+def simple_trace() -> LossTrace:
+    tree = line_tree()
+    return LossTrace(
+        "t",
+        tree,
+        0.08,
+        {"r1": bytes([0, 1, 1, 0, 0]), "r2": bytes([0, 0, 1, 0, 1])},
+    )
+
+
+class TestLossTrace:
+    def test_basic_queries(self):
+        trace = simple_trace()
+        assert trace.n_packets == 5
+        assert trace.lost("r1", 1)
+        assert not trace.lost("r1", 0)
+        assert trace.loss_pattern(2) == {"r1", "r2"}
+        assert trace.loss_pattern(0) == frozenset()
+        assert trace.lossy_packets() == [1, 2, 4]
+
+    def test_counts_and_rates(self):
+        trace = simple_trace()
+        assert trace.receiver_losses("r1") == 2
+        assert trace.total_losses == 4
+        assert trace.loss_rate("r1") == pytest.approx(0.4)
+        assert trace.mean_loss_rate == pytest.approx(4 / 10)
+
+    def test_duration(self):
+        assert simple_trace().duration == pytest.approx(0.4)
+
+    def test_truncated(self):
+        trace = simple_trace().truncated(2)
+        assert trace.n_packets == 2
+        assert trace.total_losses == 1
+
+    def test_truncated_no_op_when_longer(self):
+        trace = simple_trace()
+        assert trace.truncated(100) is trace
+
+    def test_missing_receiver_rejected(self):
+        with pytest.raises(TraceError):
+            LossTrace("t", line_tree(), 0.08, {"r1": bytes(5)})
+
+    def test_unknown_receiver_rejected(self):
+        with pytest.raises(TraceError):
+            LossTrace(
+                "t",
+                line_tree(),
+                0.08,
+                {"r1": bytes(5), "r2": bytes(5), "r9": bytes(5)},
+            )
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            LossTrace("t", line_tree(), 0.08, {"r1": bytes(5), "r2": bytes(4)})
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(TraceError):
+            LossTrace("t", line_tree(), 0.08, {"r1": bytes([2] * 5), "r2": bytes(5)})
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(TraceError):
+            LossTrace("t", line_tree(), 0.0, {"r1": bytes(5), "r2": bytes(5)})
+
+
+class TestSyntheticTrace:
+    def test_responsible_link(self):
+        tree = two_subtrees()
+        synthetic = make_synthetic(
+            tree,
+            n_packets=4,
+            period=0.08,
+            combos={
+                1: frozenset({("x0", "x1")}),
+                2: frozenset({("x1", "r1"), ("x2", "r3")}),
+            },
+        )
+        assert synthetic.responsible_link("r1", 1) == ("x0", "x1")
+        assert synthetic.responsible_link("r2", 1) == ("x0", "x1")
+        assert synthetic.responsible_link("r1", 2) == ("x1", "r1")
+        assert synthetic.responsible_link("r3", 2) == ("x2", "r3")
+        assert synthetic.responsible_link("r4", 2) is None
+        assert synthetic.responsible_link("r1", 0) is None
+
+    def test_combo_must_cover_loss(self):
+        tree = two_subtrees()
+        synthetic = make_synthetic(
+            tree, n_packets=2, period=0.08, combos={1: frozenset({("x0", "x1")})}
+        )
+        # corrupt: claim r3 lost packet 1 though no combo link covers it
+        seqs = dict(synthetic.trace.loss_seqs)
+        seqs["r3"] = bytes([0, 1])
+        from repro.traces.model import LossTrace
+
+        synthetic.trace = LossTrace("t", tree, 0.08, seqs)
+        with pytest.raises(TraceError):
+            synthetic.responsible_link("r3", 1)
+
+    def test_truncated_filters_combos(self):
+        tree = two_subtrees()
+        synthetic = make_synthetic(
+            tree,
+            n_packets=10,
+            period=0.08,
+            combos={2: frozenset({("x0", "x1")}), 8: frozenset({("x0", "x2")})},
+        )
+        cut = synthetic.truncated(5)
+        assert set(cut.link_combos) == {2}
+        assert cut.trace.n_packets == 5
+
+    def test_truncated_no_op(self):
+        tree = two_subtrees()
+        synthetic = make_synthetic(tree, n_packets=3, period=0.08, combos={})
+        assert synthetic.truncated(10) is synthetic
+
+
+class TestMakeSyntheticHelper:
+    def test_patterns_match_combos(self):
+        tree = two_subtrees()
+        synthetic = make_synthetic(
+            tree,
+            n_packets=3,
+            period=0.08,
+            combos={0: frozenset({("x0", "x1")}), 2: frozenset({("x2", "r4")})},
+        )
+        trace = synthetic.trace
+        assert trace.loss_pattern(0) == {"r1", "r2"}
+        assert trace.loss_pattern(1) == frozenset()
+        assert trace.loss_pattern(2) == {"r4"}

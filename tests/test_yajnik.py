@@ -1,0 +1,48 @@
+"""Tests for the Table 1 metadata."""
+
+import pytest
+
+from repro.traces.yajnik import FIGURE_TRACES, YAJNIK_TRACES, trace_meta
+
+
+def test_fourteen_traces():
+    assert len(YAJNIK_TRACES) == 14
+    assert [m.index for m in YAJNIK_TRACES] == list(range(1, 15))
+
+
+def test_known_row_values():
+    meta = trace_meta("WRN951113")
+    assert meta.index == 7
+    assert meta.n_receivers == 12
+    assert meta.tree_depth == 5
+    assert meta.period_ms == 80
+    assert meta.n_packets == 46443
+    assert meta.n_losses == 29686
+
+
+def test_period_seconds():
+    assert trace_meta("RFV960508").period == pytest.approx(0.040)
+    assert trace_meta("RFV960419").period == pytest.approx(0.080)
+
+
+def test_mean_loss_rate():
+    meta = trace_meta("WRN951216")
+    assert meta.mean_loss_rate == pytest.approx(37833 / (50202 * 8))
+
+
+def test_receiver_counts_in_paper_range():
+    for meta in YAJNIK_TRACES:
+        assert 7 <= meta.n_receivers <= 15
+        assert 3 <= meta.tree_depth <= 7
+        assert meta.period_ms in (40, 80)
+
+
+def test_figure_traces_are_the_six_typical_ones():
+    assert len(FIGURE_TRACES) == 6
+    names = {m.name for m in YAJNIK_TRACES}
+    assert set(FIGURE_TRACES) <= names
+
+
+def test_unknown_trace_raises():
+    with pytest.raises(KeyError):
+        trace_meta("NOPE")
