@@ -9,20 +9,35 @@ run (stdout is captured by pytest).
 
 Replay length: ``REPRO_MAX_PACKETS`` (default 2500 here) packets per
 trace; set ``REPRO_FULL_TRACES=1`` for the full-length traces.
+
+Execution goes through the :mod:`repro.exec` engine: set ``REPRO_JOBS=N``
+to fan uncached runs out over N worker processes, and
+``REPRO_BENCH_CACHE=1`` to reuse the persistent run cache (off by default
+so timings measure simulation, not cache reads).
+
+Per-benchmark wall-clock timings are written to ``BENCH_exec.json`` at the
+repo root after every session, so the performance trajectory is tracked
+across PRs in machine-readable form.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.exec.cache import RunCache
 from repro.harness.experiments import ExperimentContext
 
 BENCH_MAX_PACKETS = 2500
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+TIMINGS_PATH = Path(__file__).parent.parent / "BENCH_exec.json"
+
+_timings: dict[str, float] = {}
 
 
 def bench_max_packets() -> int | None:
@@ -34,9 +49,23 @@ def bench_max_packets() -> int | None:
     return BENCH_MAX_PACKETS
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "") or "1")
+
+
+def bench_cache() -> RunCache | None:
+    if os.environ.get("REPRO_BENCH_CACHE", "") not in ("", "0"):
+        return RunCache()
+    return None
+
+
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext(max_packets=bench_max_packets())
+    return ExperimentContext(
+        max_packets=bench_max_packets(),
+        jobs=bench_jobs(),
+        cache=bench_cache(),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -53,3 +82,26 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Time ``fn`` exactly once — simulation batches are seconds-long, so
     statistical repetition buys nothing and costs minutes."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _timings[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _timings:
+        return
+    payload = {
+        "suite": "benchmarks",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "max_packets": bench_max_packets(),
+        "jobs": bench_jobs(),
+        "cache": bench_cache() is not None,
+        "timings_s": {
+            nodeid: round(duration, 4)
+            for nodeid, duration in sorted(_timings.items())
+        },
+        "total_s": round(sum(_timings.values()), 4),
+    }
+    TIMINGS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -59,6 +59,13 @@ from repro.rmtp import RmtpAgent, RmtpFabric
 from repro.spec import InvariantMonitor, InvariantViolation, ALL_INVARIANTS
 from repro.harness import SimulationConfig, RunResult, run_trace, PROTOCOLS
 from repro.metrics import MetricsCollector, OverheadBreakdown
+from repro.exec import (
+    ExecutionEngine,
+    RunCache,
+    RunJob,
+    RunSummary,
+    source_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -112,6 +119,12 @@ __all__ = [
     "RunResult",
     "run_trace",
     "PROTOCOLS",
+    # execution engine
+    "ExecutionEngine",
+    "RunCache",
+    "RunJob",
+    "RunSummary",
+    "source_fingerprint",
     # metrics
     "MetricsCollector",
     "OverheadBreakdown",

@@ -1,0 +1,174 @@
+"""Persistent content-addressed run cache.
+
+Each completed job stores one JSON file named by the job's content
+:meth:`~repro.exec.jobs.RunJob.key` under ``<dir>/runs/``; the payload
+records the full digest (spec + source fingerprint), so an entry written
+by an older source tree reads back as an *invalidation* — counted, treated
+as a miss, and overwritten in place by the fresh result.  Writes go
+through a temp file + ``os.replace`` so concurrent processes never
+observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exec.jobs import RunJob
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/cesrm-repro``."""
+    override = os.environ.get(CACHE_DIR_ENV, "")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "cesrm-repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/invalidation accounting for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.invalidations} invalidated"
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored run, as listed by ``cesrm cache``."""
+
+    key: str
+    trace: str
+    protocol: str
+    seed: int
+    max_packets: int | None
+    fingerprint: str
+    size_bytes: int
+
+
+@dataclass
+class RunCache:
+    """On-disk cache of :class:`~repro.exec.summary.RunSummary` payloads."""
+
+    directory: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.directory / "runs"
+
+    def _path(self, key: str) -> Path:
+        return self.runs_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, job: RunJob, fingerprint: str) -> dict[str, Any] | None:
+        """The stored summary dict for ``job``, or None (miss).  An entry
+        whose digest no longer matches (source changed) is a miss and is
+        counted as an invalidation."""
+        path = self._path(job.key())
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+        if payload.get("digest") != job.digest(fingerprint):
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+        self.stats.hits += 1
+        return payload["summary"]
+
+    def put(
+        self, job: RunJob, fingerprint: str, summary: dict[str, Any]
+    ) -> Path:
+        """Atomically store ``summary`` for ``job`` (replacing any stale
+        entry in the same slot)."""
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(job.key())
+        payload = {
+            "digest": job.digest(fingerprint),
+            "fingerprint": fingerprint,
+            "job": job.to_dict(),
+            "summary": summary,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.runs_dir), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Inspection / maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        out = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                job = payload["job"]
+                out.append(
+                    CacheEntry(
+                        key=path.stem,
+                        trace=job["trace"],
+                        protocol=job["protocol"],
+                        seed=job["config"]["seed"],
+                        max_packets=job["trace_max_packets"],
+                        fingerprint=payload.get("fingerprint", ""),
+                        size_bytes=path.stat().st_size,
+                    )
+                )
+            except (OSError, KeyError, json.JSONDecodeError, TypeError):
+                continue
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(
+            path.stat().st_size
+            for path in self.runs_dir.glob("*.json")
+            if path.is_file()
+        )
+
+    def clear(self) -> int:
+        """Delete every stored run; returns how many were removed."""
+        removed = 0
+        for path in self.runs_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,132 @@
+"""Declarative, hashable simulation-run specs.
+
+A :class:`RunJob` pins down everything that determines a run's outcome:
+the trace (by name, plus the synthesis seed and replay cap that shape it),
+the protocol, and the full :class:`~repro.harness.config.SimulationConfig`.
+Its :meth:`~RunJob.key` is a stable content digest of that spec; its
+:meth:`~RunJob.digest` additionally folds in a fingerprint of the
+``repro`` source tree, so cached results self-invalidate whenever the
+simulator's code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.exec.summary import (
+    RunSummary,
+    SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.harness.config import PROTOCOLS, SimulationConfig
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """One protocol-over-trace simulation, fully specified and hashable."""
+
+    trace: str
+    protocol: str
+    config: SimulationConfig
+    #: Seed and replay cap passed to trace *synthesis* (the replay cap
+    #: scales the calibrated loss targets, so it is part of the trace
+    #: identity, not just a truncation).
+    trace_seed: int = 0
+    trace_max_packets: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization (the spec must cross process boundaries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace": self.trace,
+            "protocol": self.protocol,
+            "config": config_to_dict(self.config),
+            "trace_seed": self.trace_seed,
+            "trace_max_packets": self.trace_max_packets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunJob":
+        return cls(
+            trace=data["trace"],
+            protocol=data["protocol"],
+            config=config_from_dict(data["config"]),
+            trace_seed=data["trace_seed"],
+            trace_max_packets=data["trace_max_packets"],
+        )
+
+    # ------------------------------------------------------------------
+    # Digests
+    # ------------------------------------------------------------------
+    def key(self) -> str:
+        """Content digest of the spec alone (names the cache slot)."""
+        payload = json.dumps(
+            {"schema": SCHEMA_VERSION, "job": self.to_dict()}, sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:40]
+
+    def digest(self, fingerprint: str) -> str:
+        """Spec digest folded with the source-tree ``fingerprint``: a
+        cache entry is valid only while both match."""
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "job": self.to_dict(),
+                "fingerprint": fingerprint,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def describe(self) -> str:
+        return f"{self.protocol}/{self.trace}"
+
+
+def execute_job(job: RunJob) -> RunSummary:
+    """Synthesize the job's trace and run it — the worker-side entry
+    point (deterministic in the job spec)."""
+    from repro.harness.runner import run_trace
+    from repro.traces.synthesize import synthesize_trace
+    from repro.traces.yajnik import trace_meta
+
+    synthetic = synthesize_trace(
+        trace_meta(job.trace),
+        seed=job.trace_seed,
+        max_packets=job.trace_max_packets,
+    )
+    return RunSummary.from_result(run_trace(synthetic, job.protocol, job.config))
+
+
+@lru_cache(maxsize=8)
+def source_fingerprint(root: str | None = None) -> str:
+    """SHA-256 over the ``repro`` package sources (paths + contents).
+
+    Folded into every job digest so cached runs invalidate when any
+    simulator code changes.  ``root`` overrides the hashed tree (tests).
+    """
+    if root is None:
+        import repro
+
+        base = Path(repro.__file__).resolve().parent
+    else:
+        base = Path(root).resolve()
+    hasher = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        hasher.update(str(path.relative_to(base)).encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()

@@ -1,0 +1,155 @@
+"""The execution engine: cache lookup + process-pool fan-out.
+
+:meth:`ExecutionEngine.execute` takes a batch of
+:class:`~repro.exec.jobs.RunJob` specs and returns rehydrated
+:class:`~repro.harness.runner.RunResult`\\ s **in input order**, regardless
+of which worker finished first — parallel runs are byte-identical to
+serial ones because each simulation is deterministic in its job spec and
+results are reduced through :class:`~repro.exec.summary.RunSummary`
+either way.  Duplicate specs within a batch execute once.  When the
+platform cannot spawn worker processes the engine degrades to serial
+execution instead of failing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pickle import PicklingError
+from typing import Any, Callable, Sequence
+
+from repro.exec.cache import RunCache
+from repro.exec.jobs import RunJob, execute_job, source_fingerprint
+from repro.exec.summary import RunSummary
+from repro.harness.runner import RunResult
+
+#: Optional per-job local executor (serial path); lets the harness reuse
+#: its memoized traces instead of re-synthesizing.
+LocalExecutor = Callable[[RunJob], RunSummary]
+
+
+def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker-process entry point: job dict in, summary dict out (plain
+    JSON data on both sides so nothing enum-keyed crosses the pickle
+    boundary)."""
+    return execute_job(RunJob.from_dict(payload)).to_dict()
+
+
+@dataclass
+class EngineStats:
+    """What one engine handle did across its batches."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    executed_parallel: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.cache_hits} cached, {self.executed} simulated "
+            f"({self.executed_parallel} in workers)"
+        )
+
+
+@dataclass
+class ExecutionEngine:
+    """Runs job batches through the cache and an optional process pool."""
+
+    #: Worker processes for cache misses (1 = serial, the default).
+    jobs: int = 1
+    cache: RunCache | None = None
+    #: Progress sink (e.g. ``lambda msg: print(msg, file=sys.stderr)``).
+    progress: Callable[[str], None] | None = None
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def execute(
+        self,
+        run_jobs: Sequence[RunJob],
+        local_executor: LocalExecutor | None = None,
+    ) -> list[RunResult]:
+        """Execute ``run_jobs`` (deduplicated) and return results in the
+        order the jobs were given."""
+        fingerprint = source_fingerprint()
+        order: list[str] = []
+        unique: dict[str, RunJob] = {}
+        for job in run_jobs:
+            key = job.key()
+            order.append(key)
+            unique.setdefault(key, job)
+
+        results: dict[str, RunResult] = {}
+        pending: list[RunJob] = []
+        for key, job in unique.items():
+            summary_dict = (
+                self.cache.get(job, fingerprint) if self.cache else None
+            )
+            if summary_dict is not None:
+                try:
+                    results[key] = RunSummary.from_dict(summary_dict).to_result()
+                    self.stats.cache_hits += 1
+                    continue
+                except (ValueError, TypeError, KeyError):
+                    pass  # undecodable entry: recompute and overwrite
+            self.stats.cache_misses += 1
+            pending.append(job)
+
+        if pending:
+            self._report(
+                f"[exec] {len(pending)} job(s) to run, "
+                f"{len(unique) - len(pending)} cached"
+            )
+            summaries = self._run_pending(pending, local_executor)
+            for job, summary in zip(pending, summaries):
+                if self.cache is not None:
+                    self.cache.put(job, fingerprint, summary.to_dict())
+                results[job.key()] = summary.to_result()
+            self.stats.executed += len(pending)
+        return [results[key] for key in order]
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_pending(
+        self, pending: list[RunJob], local_executor: LocalExecutor | None
+    ) -> list[RunSummary]:
+        if self.jobs > 1 and len(pending) > 1:
+            try:
+                summaries = self._run_parallel(pending)
+                self.stats.executed_parallel += len(pending)
+                return summaries
+            except (OSError, ImportError, PicklingError, RuntimeError) as exc:
+                self._report(
+                    f"[exec] process pool unavailable ({exc!r}); "
+                    "running serially"
+                )
+        return self._run_serial(pending, local_executor)
+
+    def _run_serial(
+        self, pending: list[RunJob], local_executor: LocalExecutor | None
+    ) -> list[RunSummary]:
+        run = local_executor or execute_job
+        out = []
+        for index, job in enumerate(pending):
+            out.append(run(job))
+            self._report(
+                f"[exec] {index + 1}/{len(pending)} done ({job.describe()})"
+            )
+        return out
+
+    def _run_parallel(self, pending: list[RunJob]) -> list[RunSummary]:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_payload, job.to_dict()) for job in pending
+            ]
+            summaries = []
+            for index, (job, future) in enumerate(zip(pending, futures)):
+                summaries.append(RunSummary.from_dict(future.result()))
+                self._report(
+                    f"[exec] {index + 1}/{len(pending)} done ({job.describe()})"
+                )
+        return summaries
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)

@@ -1,0 +1,195 @@
+"""JSON-serializable reduction of a simulation run.
+
+:class:`~repro.harness.runner.RunResult` cannot cross process or disk
+boundaries as-is: its :class:`~repro.metrics.collector.MetricsCollector`
+holds ``Counter``\\ s keyed by ``(host, PacketKind, Cast)`` enum tuples and
+its crossings snapshot is keyed by tuples — neither survives ``json``.
+:class:`RunSummary` flattens every statistic the report layer consumes
+into plain lists/dicts (enums by value, tuples as lists) and rehydrates a
+full ``RunResult`` on demand, so code downstream of the execution engine
+never notices whether a run was fresh, pooled, or read from the cache.
+
+The round trip is lossless: ``RunSummary.from_json(s.to_json())`` equals
+``s``, and the rehydrated result reproduces every figure/table value of
+the original bit-for-bit (floats survive JSON via ``repr`` round-trip).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any
+
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import RunResult
+from repro.metrics.collector import MetricsCollector, RecoveryRecord
+from repro.metrics.overhead import OverheadBreakdown
+from repro.net.packet import Cast, PacketKind
+from repro.srm.constants import SrmParams
+
+#: Bump when the summary layout changes; mismatching cache entries are
+#: treated as misses rather than decoded.
+SCHEMA_VERSION = 1
+
+
+def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
+    """``SimulationConfig`` (with nested ``SrmParams``) as plain JSON data."""
+    return asdict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
+    """Inverse of :func:`config_to_dict`."""
+    payload = dict(data)
+    payload["params"] = SrmParams(**payload["params"])
+    return SimulationConfig(**payload)
+
+
+@dataclass
+class RunSummary:
+    """Everything of one run that the figures, tables, and CLI consume."""
+
+    protocol: str
+    trace_name: str
+    config: dict[str, Any]
+    receivers: list[str]
+    source: str
+    rtt_to_source: dict[str, float]
+    #: ``[host, kind value, cast value, count]`` rows, sorted.
+    sends: list[list[Any]]
+    losses_detected: dict[str, int]
+    #: host -> ``[seq, latency, expedited, requests_sent]`` rows in
+    #: completion order (the timeline re-sorts by seq itself).
+    recoveries: dict[str, list[list[Any]]]
+    duplicate_replies: dict[str, int]
+    undetected_recoveries: dict[str, int]
+    late_arrivals: dict[str, int]
+    unrecovered_counts: dict[str, int]
+    unrecovered_seqs: dict[str, list[int]]
+    overhead: dict[str, int]
+    #: ``[kind value, cast value, count]`` rows, sorted.
+    crossings: list[list[Any]]
+    n_packets: int
+    total_losses: int
+    sim_time: float
+    events_processed: int
+    wall_time: float
+    schema: int = field(default=SCHEMA_VERSION)
+
+    # ------------------------------------------------------------------
+    # RunResult <-> RunSummary
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunSummary":
+        metrics = result.metrics
+        return cls(
+            protocol=result.protocol,
+            trace_name=result.trace_name,
+            config=config_to_dict(result.config),
+            receivers=list(result.receivers),
+            source=result.source,
+            rtt_to_source=dict(result.rtt_to_source),
+            sends=sorted(
+                [host, kind.value, cast.value, count]
+                for (host, kind, cast), count in metrics.sends.items()
+            ),
+            losses_detected=dict(metrics.losses_detected),
+            recoveries={
+                host: [
+                    [r.seq, r.latency, r.expedited, r.requests_sent]
+                    for r in records
+                ]
+                for host, records in metrics.recoveries.items()
+            },
+            duplicate_replies=dict(metrics.duplicate_replies),
+            undetected_recoveries=dict(metrics.undetected_recoveries),
+            late_arrivals=dict(metrics.late_arrivals),
+            unrecovered_counts=dict(metrics.unrecovered),
+            unrecovered_seqs={
+                host: list(seqs) for host, seqs in result.unrecovered.items()
+            },
+            overhead={
+                "retransmissions": result.overhead.retransmissions,
+                "multicast_control": result.overhead.multicast_control,
+                "unicast_control": result.overhead.unicast_control,
+            },
+            crossings=sorted(
+                [kind, cast, count]
+                for (kind, cast), count in result.crossings_snapshot.items()
+            ),
+            n_packets=result.n_packets,
+            total_losses=result.total_losses,
+            sim_time=result.sim_time,
+            events_processed=result.events_processed,
+            wall_time=result.wall_time,
+        )
+
+    def to_result(self) -> RunResult:
+        """Rehydrate a full ``RunResult`` (enum keys restored)."""
+        metrics = MetricsCollector()
+        metrics.sends = Counter(
+            {
+                (host, PacketKind(kind), Cast(cast)): count
+                for host, kind, cast, count in self.sends
+            }
+        )
+        metrics.losses_detected = Counter(self.losses_detected)
+        recoveries: dict[str, list[RecoveryRecord]] = defaultdict(list)
+        for host, rows in self.recoveries.items():
+            recoveries[host] = [
+                RecoveryRecord(host, seq, latency, bool(expedited), requests)
+                for seq, latency, expedited, requests in rows
+            ]
+        metrics.recoveries = recoveries
+        metrics.duplicate_replies = Counter(self.duplicate_replies)
+        metrics.undetected_recoveries = Counter(self.undetected_recoveries)
+        metrics.late_arrivals = Counter(self.late_arrivals)
+        metrics.unrecovered = Counter(self.unrecovered_counts)
+        return RunResult(
+            protocol=self.protocol,
+            trace_name=self.trace_name,
+            config=config_from_dict(self.config),
+            receivers=tuple(self.receivers),
+            source=self.source,
+            metrics=metrics,
+            overhead=OverheadBreakdown(**self.overhead),
+            crossings_snapshot={
+                (kind, cast): count for kind, cast, count in self.crossings
+            },
+            rtt_to_source=dict(self.rtt_to_source),
+            unrecovered={
+                host: list(seqs) for host, seqs in self.unrecovered_seqs.items()
+            },
+            n_packets=self.n_packets,
+            total_losses=self.total_losses,
+            sim_time=self.sim_time,
+            events_processed=self.events_processed,
+            wall_time=self.wall_time,
+        )
+
+    # ------------------------------------------------------------------
+    # JSON
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSummary":
+        schema = data.get("schema", 0)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunSummary schema {schema!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSummary fields {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSummary":
+        return cls.from_dict(json.loads(text))

@@ -6,10 +6,20 @@ single protocol/trace pair:
 .. code-block:: console
 
     $ cesrm table1
-    $ cesrm figure1 --max-packets 5000
+    $ cesrm figure1 --max-packets 5000 --jobs 4
     $ cesrm figure5 --full
     $ cesrm run --trace WRN951113 --protocol cesrm
-    $ cesrm all
+    $ cesrm all --jobs 8
+    $ cesrm cache
+    $ cesrm cache --clear
+
+Simulation runs go through :mod:`repro.exec`: cache misses fan out over
+``--jobs`` worker processes and every completed run is stored in a
+persistent content-addressed cache (``~/.cache/cesrm-repro``, or
+``--cache-dir``/``$REPRO_CACHE_DIR``), so a rerun of any figure is
+near-instant.  Cached, parallel, and serial runs produce byte-identical
+reports; cache accounting goes to stderr so stdout stays comparable.
+``--no-cache`` forces fresh simulation without touching the cache.
 """
 
 from __future__ import annotations
@@ -17,6 +27,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exec.cache import RunCache, default_cache_dir
+from repro.exec.jobs import source_fingerprint
 from repro.harness import experiments as exp
 from repro.harness import report
 from repro.harness.config import PROTOCOLS
@@ -37,6 +49,7 @@ COMMANDS = (
     "synth",
     "run",
     "timeline",
+    "cache",
     "all",
 )
 
@@ -91,7 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="receiver for the `timeline` command (default: worst-hit)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for uncached simulation runs (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/cesrm-repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="simulate fresh without reading or writing the run cache",
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="with the `cache` command: delete every stored run",
+    )
     return parser
+
+
+def _cache(args: argparse.Namespace) -> RunCache | None:
+    if args.no_cache:
+        return None
+    return RunCache(args.cache_dir or default_cache_dir())
 
 
 def _context(args: argparse.Namespace) -> exp.ExperimentContext:
@@ -101,7 +143,16 @@ def _context(args: argparse.Namespace) -> exp.ExperimentContext:
         max_packets = args.max_packets
     else:
         max_packets = "default"
-    ctx = exp.ExperimentContext(seed=args.seed, max_packets=max_packets)
+    progress = (
+        (lambda msg: print(msg, file=sys.stderr)) if args.jobs > 1 else None
+    )
+    ctx = exp.ExperimentContext(
+        seed=args.seed,
+        max_packets=max_packets,
+        jobs=args.jobs,
+        cache=_cache(args),
+        progress=progress,
+    )
     if getattr(args, "verify", False):
         ctx.config = ctx.config.with_(verify_period=0.05)
     return ctx
@@ -109,6 +160,9 @@ def _context(args: argparse.Namespace) -> exp.ExperimentContext:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "cache":
+        print(_cache_command(args))
+        return 0
     ctx = _context(args)
     out: list[str] = []
 
@@ -171,7 +225,38 @@ def main(argv: list[str] | None = None) -> int:
         out.append(_timeline(args, ctx))
 
     print("\n\n".join(out))
+    cache = ctx.engine.cache
+    if cache is not None:
+        print(
+            f"[exec] cache: {cache.stats.describe()} — {cache.directory}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _cache_command(args: argparse.Namespace) -> str:
+    """Inspect (default) or clear (``--clear``) the persistent run cache."""
+    cache = RunCache(args.cache_dir or default_cache_dir())
+    if args.clear:
+        removed = cache.clear()
+        return f"run cache {cache.directory}: cleared {removed} entries"
+    entries = cache.entries()
+    fingerprint = source_fingerprint()
+    fresh = sum(1 for e in entries if e.fingerprint == fingerprint)
+    lines = [
+        f"run cache {cache.directory}",
+        f"  entries: {len(entries)} ({fresh} current, "
+        f"{len(entries) - fresh} stale), {cache.size_bytes()} bytes",
+        f"  source fingerprint: {fingerprint[:16]}…",
+    ]
+    for entry in entries:
+        marker = "ok " if entry.fingerprint == fingerprint else "old"
+        cap = "full" if entry.max_packets is None else entry.max_packets
+        lines.append(
+            f"  [{marker}] {entry.protocol:>12} {entry.trace:<10} "
+            f"seed={entry.seed} cap={cap} ({entry.size_bytes} B)"
+        )
+    return "\n".join(lines)
 
 
 def _analyze(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:

@@ -4,7 +4,12 @@ Each ``figureN`` / ``table1`` function returns plain data (dataclasses of
 lists/dicts) that :mod:`repro.harness.report` renders as ASCII and the
 benchmarks print.  An :class:`ExperimentContext` memoizes synthesized
 traces and simulation runs so that figures sharing runs (1–4 all use the
-same six traces) never simulate twice.
+same six traces) never simulate twice; it executes runs through the
+:mod:`repro.exec` engine, so batches fan out over a process pool
+(``jobs > 1``) and completed runs persist in an on-disk content-addressed
+cache (``cache``) across invocations.  Every driver declares its full run
+set up front via :meth:`ExperimentContext.prefetch`, which is what lets
+the engine parallelize.
 
 Trace length: real replays are 17k–149k packets; by default experiments
 replay the first ``DEFAULT_MAX_PACKETS`` packets (loss targets scale
@@ -17,7 +22,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Iterable
 
+from repro.exec.cache import RunCache
+from repro.exec.jobs import RunJob
+from repro.exec.pool import ExecutionEngine
+from repro.exec.summary import RunSummary
 from repro.harness.analysis import (
     EXPEDITED_GAP_BAND_RTT,
     SRM_FIRST_ROUND_BAND_RTT,
@@ -44,15 +54,24 @@ def default_max_packets() -> int | None:
     return DEFAULT_MAX_PACKETS
 
 
+#: A run request: ``(trace, protocol)`` with the context's config, or
+#: ``(trace, protocol, config)`` with an explicit one.
+RunSpec = tuple
+
+
 class ExperimentContext:
     """Shared state for a batch of experiments: one config, one seed, and
-    memoized traces and runs."""
+    memoized traces and runs, executed through the :mod:`repro.exec`
+    engine (process-pool fan-out + persistent run cache)."""
 
     def __init__(
         self,
         config: SimulationConfig | None = None,
         seed: int = 0,
         max_packets: int | None | str = "default",
+        jobs: int = 1,
+        cache: RunCache | None = None,
+        progress=None,
     ) -> None:
         if max_packets == "default":
             max_packets = default_max_packets()
@@ -61,6 +80,7 @@ class ExperimentContext:
         self.config = (config or SimulationConfig()).with_(
             seed=seed, max_packets=self.max_packets
         )
+        self.engine = ExecutionEngine(jobs=jobs, cache=cache, progress=progress)
         self._traces: dict[str, SyntheticTrace] = {}
         self._runs: dict[tuple[str, str, SimulationConfig], RunResult] = {}
 
@@ -73,6 +93,54 @@ class ExperimentContext:
             self._traces[name] = cached
         return cached
 
+    def job(
+        self, name: str, protocol: str, config: SimulationConfig | None = None
+    ) -> RunJob:
+        """The declarative spec for one of this context's runs."""
+        return RunJob(
+            trace=name,
+            protocol=protocol,
+            config=config or self.config,
+            trace_seed=self.seed,
+            trace_max_packets=self.max_packets,
+        )
+
+    def _execute_local(self, job: RunJob) -> RunSummary:
+        """Serial in-process executor reusing the memoized trace."""
+        if (
+            job.trace_seed == self.seed
+            and job.trace_max_packets == self.max_packets
+        ):
+            synthetic = self.trace(job.trace)
+        else:  # pragma: no cover - jobs are always built via self.job()
+            synthetic = synthesize_trace(
+                trace_meta(job.trace),
+                seed=job.trace_seed,
+                max_packets=job.trace_max_packets,
+            )
+        return RunSummary.from_result(
+            run_trace(synthetic, job.protocol, job.config)
+        )
+
+    def prefetch(self, specs: Iterable[RunSpec]) -> None:
+        """Execute (and memoize) a batch of runs in one engine pass, so
+        cache misses fan out over the process pool together."""
+        keys: list[tuple[str, str, SimulationConfig]] = []
+        jobs: list[RunJob] = []
+        for spec in specs:
+            name, protocol, config = spec if len(spec) == 3 else (*spec, None)
+            config = config or self.config
+            key = (name, protocol, config)
+            if key in self._runs or key in keys:
+                continue
+            keys.append(key)
+            jobs.append(self.job(name, protocol, config))
+        if not jobs:
+            return
+        results = self.engine.execute(jobs, local_executor=self._execute_local)
+        for key, result in zip(keys, results):
+            self._runs[key] = result
+
     def run(
         self, name: str, protocol: str, config: SimulationConfig | None = None
     ) -> RunResult:
@@ -80,8 +148,8 @@ class ExperimentContext:
         key = (name, protocol, config)
         cached = self._runs.get(key)
         if cached is None:
-            cached = run_trace(self.trace(name), protocol, config)
-            self._runs[key] = cached
+            self.prefetch([(name, protocol, config)])
+            cached = self._runs[key]
         return cached
 
 
@@ -159,6 +227,7 @@ def figure1(
 ) -> list[Figure1Trace]:
     """Figure 1: per-receiver average normalized recovery time (RTT units),
     SRM vs CESRM, for the six typical traces."""
+    ctx.prefetch((n, p) for n in traces for p in ("srm", "cesrm"))
     out = []
     for name in traces:
         srm = ctx.run(name, "srm")
@@ -197,6 +266,7 @@ def figure2(
 ) -> list[Figure2Trace]:
     """Figure 2: per-receiver difference between non-expedited and
     expedited average normalized recovery times under CESRM."""
+    ctx.prefetch((n, "cesrm") for n in traces)
     out = []
     for name in traces:
         cesrm = ctx.run(name, "cesrm")
@@ -249,6 +319,7 @@ def figure4(
 def _packet_counts(
     ctx: ExperimentContext, traces: tuple[str, ...], which: str
 ) -> list[PacketCountTrace]:
+    ctx.prefetch((n, p) for n in traces for p in ("srm", "cesrm"))
     out = []
     for name in traces:
         srm = ctx.run(name, "srm")
@@ -302,6 +373,7 @@ def figure5(
     """Figure 5: per-trace expedited success percentage and CESRM's
     transmission overhead relative to SRM's, for all 14 traces."""
     names = traces or tuple(meta.name for meta in YAJNIK_TRACES)
+    ctx.prefetch((n, p) for n in names for p in ("srm", "cesrm"))
     rows = []
     for name in names:
         srm = ctx.run(name, "srm")
@@ -341,6 +413,7 @@ def section_3_4(
         params=ctx.config.params,
         reorder_delay_rtt=0.0,
     )
+    ctx.prefetch((n, p) for n in traces for p in ("srm", "cesrm"))
     srm_avgs = {}
     gaps = {}
     for name in traces:
@@ -391,12 +464,16 @@ def ablation_policy(
     ctx: ExperimentContext, traces: tuple[str, ...] = FIGURE_TRACES
 ) -> list[AblationRow]:
     """Most-recent-loss vs most-frequent-loss selection (§3.2/§4.3)."""
-    rows = []
-    for name in traces:
-        for policy in ("most-recent", "most-frequent"):
-            cfg = ctx.config.with_(policy=policy)
-            rows.append(_ablation_row(policy, ctx.run(name, "cesrm", cfg)))
-    return rows
+    specs = [
+        (name, "cesrm", ctx.config.with_(policy=policy))
+        for name in traces
+        for policy in ("most-recent", "most-frequent")
+    ]
+    ctx.prefetch(specs)
+    return [
+        _ablation_row(cfg.policy, ctx.run(name, protocol, cfg))
+        for name, protocol, cfg in specs
+    ]
 
 
 def ablation_cache_capacity(
@@ -405,11 +482,17 @@ def ablation_cache_capacity(
     trace: str = "WRN951113",
 ) -> list[AblationRow]:
     """Cache size sweep: the most-recent policy needs only one entry."""
-    rows = []
-    for capacity in capacities:
-        cfg = ctx.config.with_(cache_capacity=capacity)
-        rows.append(_ablation_row(f"capacity={capacity}", ctx.run(trace, "cesrm", cfg)))
-    return rows
+    specs = [
+        (trace, "cesrm", ctx.config.with_(cache_capacity=capacity))
+        for capacity in capacities
+    ]
+    ctx.prefetch(specs)
+    return [
+        _ablation_row(
+            f"capacity={cfg.cache_capacity}", ctx.run(name, protocol, cfg)
+        )
+        for name, protocol, cfg in specs
+    ]
 
 
 def ablation_reorder_delay(
@@ -418,13 +501,18 @@ def ablation_reorder_delay(
     trace: str = "WRN951113",
 ) -> list[AblationRow]:
     """REORDER-DELAY sweep: expedited latency grows with the guard."""
-    rows = []
-    for delay in delays:
-        cfg = ctx.config.with_(reorder_delay=delay)
-        rows.append(
-            _ablation_row(f"reorder={delay * 1000:.0f}ms", ctx.run(trace, "cesrm", cfg))
+    specs = [
+        (trace, "cesrm", ctx.config.with_(reorder_delay=delay))
+        for delay in delays
+    ]
+    ctx.prefetch(specs)
+    return [
+        _ablation_row(
+            f"reorder={cfg.reorder_delay * 1000:.0f}ms",
+            ctx.run(name, protocol, cfg),
         )
-    return rows
+        for name, protocol, cfg in specs
+    ]
 
 
 def ablation_lossy_recovery(
@@ -433,17 +521,20 @@ def ablation_lossy_recovery(
     """Recovery packets dropped at the per-link trace rates (§4.3's
     variation, reported in [10]): latencies grow slightly, CESRM's
     advantage persists."""
-    rows = []
-    for name in traces:
-        for lossy in (False, True):
-            cfg = ctx.config.with_(lossy_recovery=lossy)
-            label = "lossless" if not lossy else "lossy"
-            for protocol in ("srm", "cesrm"):
-                row = _ablation_row(
-                    f"{protocol}/{label}", ctx.run(name, protocol, cfg)
-                )
-                rows.append(row)
-    return rows
+    specs = [
+        (name, protocol, ctx.config.with_(lossy_recovery=lossy))
+        for name in traces
+        for lossy in (False, True)
+        for protocol in ("srm", "cesrm")
+    ]
+    ctx.prefetch(specs)
+    return [
+        _ablation_row(
+            f"{protocol}/{'lossy' if cfg.lossy_recovery else 'lossless'}",
+            ctx.run(name, protocol, cfg),
+        )
+        for name, protocol, cfg in specs
+    ]
 
 
 def ablation_link_delay(
@@ -453,16 +544,19 @@ def ablation_link_delay(
 ) -> list[AblationRow]:
     """§4.3 ran 10/20/30 ms links and saw very similar (normalized)
     results; this sweep reproduces that insensitivity."""
-    rows = []
-    for delay in delays:
-        cfg = ctx.config.with_(propagation_delay=delay)
-        for protocol in ("srm", "cesrm"):
-            rows.append(
-                _ablation_row(
-                    f"{protocol}/{delay * 1000:.0f}ms", ctx.run(trace, protocol, cfg)
-                )
-            )
-    return rows
+    specs = [
+        (trace, protocol, ctx.config.with_(propagation_delay=delay))
+        for delay in delays
+        for protocol in ("srm", "cesrm")
+    ]
+    ctx.prefetch(specs)
+    return [
+        _ablation_row(
+            f"{protocol}/{cfg.propagation_delay * 1000:.0f}ms",
+            ctx.run(name, protocol, cfg),
+        )
+        for name, protocol, cfg in specs
+    ]
 
 
 @dataclass(frozen=True)
@@ -479,6 +573,9 @@ def router_assist_comparison(
 ) -> list[RouterAssistRow]:
     """§3.3: router-assisted CESRM localizes expedited replies (subcast),
     cutting retransmission exposure versus plain CESRM at equal latency."""
+    ctx.prefetch(
+        (n, p) for n in traces for p in ("cesrm", "cesrm-router")
+    )
     rows = []
     for name in traces:
         for protocol in ("cesrm", "cesrm-router"):

@@ -41,6 +41,19 @@ class TestParser:
         args = build_parser().parse_args(["table1", "--max-packets", "500"])
         assert args.max_packets == 500
 
+    def test_exec_flags(self):
+        args = build_parser().parse_args(
+            ["figure1", "--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache
+
+    def test_cache_command_accepted(self):
+        args = build_parser().parse_args(["cache", "--clear"])
+        assert args.command == "cache"
+        assert args.clear
+
 
 class TestMain:
     def test_table1(self, capsys):
@@ -132,3 +145,77 @@ class TestMain:
         assert main(["figure2", "--all-traces", "--max-packets", "300"]) == 0
         out = capsys.readouterr().out
         assert out.count("Figure 2") == 14
+
+
+class TestExecIntegration:
+    def test_warm_rerun_stdout_identical(self, capsys, tmp_path):
+        argv = [
+            "figure2",
+            "--max-packets",
+            "300",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "0 misses" in warm.err  # second pass served from cache
+
+    def test_cache_stats_on_stderr_not_stdout(self, capsys, tmp_path):
+        main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "[exec] cache:" in captured.err
+        assert "[exec]" not in captured.out
+
+    def test_no_cache_skips_cache(self, capsys, tmp_path):
+        main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--no-cache",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "[exec] cache:" not in captured.err
+        assert not (tmp_path / "cache").exists()
+
+    def test_cache_inspect_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1 (1 current, 0 stale)" in out
+        assert "WRN951216" in out
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 entries" in out
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out

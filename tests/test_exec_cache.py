@@ -1,0 +1,113 @@
+"""The on-disk content-addressed run cache."""
+
+import json
+
+import pytest
+
+from repro.exec.cache import CACHE_DIR_ENV, RunCache, default_cache_dir
+from repro.exec.jobs import RunJob
+from repro.harness.config import SimulationConfig
+
+CFG = SimulationConfig(seed=0, max_packets=200)
+JOB = RunJob("WRN951113", "cesrm", CFG, trace_seed=0, trace_max_packets=200)
+SUMMARY = {"fake": "summary"}
+FP = "f" * 64
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert default_cache_dir() == tmp_path
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().name == "cesrm-repro"
+
+
+class TestGetPut:
+    def test_miss_on_empty(self, cache):
+        assert cache.get(JOB, FP) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_hit_after_put(self, cache):
+        cache.put(JOB, FP, SUMMARY)
+        assert cache.get(JOB, FP) == SUMMARY
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_entry_is_valid_json(self, cache):
+        path = cache.put(JOB, FP, SUMMARY)
+        payload = json.loads(path.read_text())
+        assert payload["summary"] == SUMMARY
+        assert payload["fingerprint"] == FP
+        assert payload["job"]["trace"] == "WRN951113"
+
+    def test_distinct_jobs_distinct_slots(self, cache):
+        other = RunJob("WRN951216", "srm", CFG, 0, 200)
+        cache.put(JOB, FP, SUMMARY)
+        cache.put(other, FP, {"other": 1})
+        assert cache.get(JOB, FP) == SUMMARY
+        assert cache.get(other, FP) == {"other": 1}
+
+
+class TestInvalidation:
+    def test_fingerprint_change_invalidates(self, cache):
+        cache.put(JOB, FP, SUMMARY)
+        assert cache.get(JOB, "0" * 64) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+
+    def test_config_change_misses(self, cache):
+        cache.put(JOB, FP, SUMMARY)
+        changed = RunJob(
+            JOB.trace, JOB.protocol, CFG.with_(reorder_delay=0.1), 0, 200
+        )
+        assert cache.get(changed, FP) is None
+
+    def test_stale_entry_overwritten_in_place(self, cache):
+        cache.put(JOB, "0" * 64, {"stale": 1})
+        cache.put(JOB, FP, SUMMARY)
+        assert len(cache.entries()) == 1
+        assert cache.get(JOB, FP) == SUMMARY
+
+    def test_corrupt_entry_is_invalidation(self, cache):
+        path = cache.put(JOB, FP, SUMMARY)
+        path.write_text("{not json")
+        assert cache.get(JOB, FP) is None
+        assert cache.stats.invalidations == 1
+
+
+class TestMaintenance:
+    def test_entries_listing(self, cache):
+        cache.put(JOB, FP, SUMMARY)
+        [entry] = cache.entries()
+        assert entry.trace == "WRN951113"
+        assert entry.protocol == "cesrm"
+        assert entry.seed == 0
+        assert entry.max_packets == 200
+        assert entry.fingerprint == FP
+        assert entry.size_bytes > 0
+
+    def test_size_bytes(self, cache):
+        assert cache.size_bytes() == 0
+        cache.put(JOB, FP, SUMMARY)
+        assert cache.size_bytes() > 0
+
+    def test_clear(self, cache):
+        cache.put(JOB, FP, SUMMARY)
+        assert cache.clear() == 1
+        assert cache.entries() == []
+        assert cache.get(JOB, FP) is None
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(JOB, FP, SUMMARY)
+        leftovers = [
+            p for p in cache.runs_dir.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []

@@ -1,0 +1,83 @@
+"""RunJob digests: stable, spec-sensitive, and fingerprint-sensitive."""
+
+import pytest
+
+from repro.exec.jobs import RunJob, source_fingerprint
+from repro.harness.config import SimulationConfig
+
+CFG = SimulationConfig(seed=0, max_packets=200)
+
+
+def job(**overrides) -> RunJob:
+    base = dict(
+        trace="WRN951113",
+        protocol="cesrm",
+        config=CFG,
+        trace_seed=0,
+        trace_max_packets=200,
+    )
+    base.update(overrides)
+    return RunJob(**base)
+
+
+class TestKey:
+    def test_stable_across_constructions(self):
+        assert job().key() == job().key()
+
+    def test_differs_by_trace(self):
+        assert job().key() != job(trace="WRN951216").key()
+
+    def test_differs_by_protocol(self):
+        assert job().key() != job(protocol="srm").key()
+
+    def test_differs_by_config(self):
+        assert job().key() != job(config=CFG.with_(seed=1)).key()
+        assert job().key() != job(config=CFG.with_(cache_capacity=1)).key()
+        assert (
+            job().key()
+            != job(config=CFG.with_(policy="most-frequent")).key()
+        )
+
+    def test_differs_by_trace_shape(self):
+        assert job().key() != job(trace_max_packets=300).key()
+        assert job().key() != job(trace_seed=1).key()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            job(protocol="nope")
+
+
+class TestDigest:
+    def test_folds_in_fingerprint(self):
+        assert job().digest("aaa") != job().digest("bbb")
+        assert job().digest("aaa") == job().digest("aaa")
+
+    def test_distinct_from_key(self):
+        assert job().digest("aaa") != job().key()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = job(config=CFG.with_(lossy_recovery=True, verify_period=0.5))
+        restored = RunJob.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.key() == original.key()
+
+
+class TestSourceFingerprint:
+    def test_tracks_file_content(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(str(tmp_path))
+        source_fingerprint.cache_clear()
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert source_fingerprint(str(tmp_path)) != first
+
+    def test_tracks_new_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(str(tmp_path))
+        source_fingerprint.cache_clear()
+        (tmp_path / "b.py").write_text("y = 1\n")
+        assert source_fingerprint(str(tmp_path)) != first
+
+    def test_default_tree_is_stable(self):
+        assert source_fingerprint() == source_fingerprint()

@@ -1,0 +1,112 @@
+"""Determinism of the execution engine: parallel == serial, warm == cold,
+and cache entries invalidate on config or source change."""
+
+import pytest
+
+from repro.exec import pool as pool_mod
+from repro.exec.cache import RunCache
+from repro.exec.jobs import RunJob
+from repro.exec.pool import ExecutionEngine
+from repro.harness import report
+from repro.harness.config import SimulationConfig
+from repro.harness.experiments import ExperimentContext, figure1
+
+#: Tiny replay and two traces keep the fan-out fast on a laptop/CI box.
+TINY = 400
+TRACES = ("WRN951113", "WRN951216")
+
+
+def render(ctx) -> str:
+    return report.render_figure1(figure1(ctx, traces=TRACES))
+
+
+@pytest.fixture(scope="module")
+def serial_render() -> str:
+    return render(ExperimentContext(max_packets=TINY))
+
+
+class TestParallelDeterminism:
+    def test_figure1_jobs4_identical_to_serial(self, serial_render):
+        parallel = render(ExperimentContext(max_packets=TINY, jobs=4))
+        assert parallel == serial_render
+
+    def test_pool_fallback_when_workers_unavailable(
+        self, monkeypatch, serial_render
+    ):
+        def boom(*args, **kwargs):
+            raise OSError("no forking allowed")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", boom)
+        degraded = render(ExperimentContext(max_packets=TINY, jobs=4))
+        assert degraded == serial_render
+
+
+class TestCacheDeterminism:
+    def test_warm_rerun_identical_and_fully_cached(
+        self, tmp_path, serial_render
+    ):
+        cache_dir = tmp_path / "cache"
+        cold_ctx = ExperimentContext(max_packets=TINY, cache=RunCache(cache_dir))
+        cold = render(cold_ctx)
+        assert cold == serial_render
+        assert cold_ctx.engine.stats.executed == 4  # 2 traces x 2 protocols
+
+        warm_ctx = ExperimentContext(max_packets=TINY, cache=RunCache(cache_dir))
+        warm = render(warm_ctx)
+        assert warm == cold
+        assert warm_ctx.engine.stats.executed == 0
+        assert warm_ctx.engine.cache.stats.hits == 4
+        assert warm_ctx.engine.cache.stats.misses == 0
+
+    def test_config_change_misses_cache(self, tmp_path, serial_render):
+        cache_dir = tmp_path / "cache"
+        ExperimentContext(max_packets=TINY, cache=RunCache(cache_dir)).run(
+            TRACES[0], "srm"
+        )
+        changed = ExperimentContext(
+            config=SimulationConfig(reorder_delay=0.05),
+            max_packets=TINY,
+            cache=RunCache(cache_dir),
+        )
+        changed.run(TRACES[0], "srm")
+        assert changed.engine.stats.executed == 1
+        assert changed.engine.cache.stats.hits == 0
+
+    def test_source_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        first = ExperimentContext(max_packets=TINY, cache=RunCache(cache_dir))
+        first.run(TRACES[0], "srm")
+        assert first.engine.stats.executed == 1
+
+        monkeypatch.setattr(
+            pool_mod, "source_fingerprint", lambda root=None: "0" * 64
+        )
+        stale = ExperimentContext(max_packets=TINY, cache=RunCache(cache_dir))
+        stale.run(TRACES[0], "srm")
+        assert stale.engine.stats.executed == 1  # recomputed, not served stale
+        assert stale.engine.cache.stats.invalidations == 1
+
+
+class TestEngineBatching:
+    def test_duplicate_specs_execute_once(self, tmp_path):
+        ctx = ExperimentContext(
+            max_packets=TINY, cache=RunCache(tmp_path / "cache")
+        )
+        ctx.prefetch([(TRACES[0], "srm"), (TRACES[0], "srm")])
+        assert ctx.engine.stats.executed == 1
+
+    def test_results_keep_input_order(self):
+        config = SimulationConfig(seed=0, max_packets=TINY)
+        jobs = [
+            RunJob(trace, protocol, config, 0, TINY)
+            for trace in TRACES
+            for protocol in ("srm", "cesrm")
+        ]
+        results = ExecutionEngine().execute(jobs)
+        assert [(r.trace_name, r.protocol) for r in results] == [
+            (j.trace, j.protocol) for j in jobs
+        ]
+
+    def test_memoization_preserved(self):
+        ctx = ExperimentContext(max_packets=TINY)
+        assert ctx.run(TRACES[0], "srm") is ctx.run(TRACES[0], "srm")
