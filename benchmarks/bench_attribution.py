@@ -20,7 +20,7 @@ def _attribute_all(ctx):
         trace = synthetic.trace
         rates = estimate_link_rates_subtree(trace)
         mle = estimate_link_rates_mle(trace)
-        agreement = max(abs(rates[l] - mle[l]) for l in rates)
+        agreement = max(abs(rates[link] - mle[link]) for link in rates)
         attributor = Attributor(trace.tree, rates)
         result = attributor.attribute_trace(trace)
         rows.append(

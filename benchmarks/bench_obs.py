@@ -1,0 +1,138 @@
+"""Tracing overhead: disabled vs ring-buffer vs JSONL (repro.obs).
+
+Two measurements, both written to ``BENCH_obs.json`` at the repo root:
+
+* **Engine micro-bench** — the current :class:`Simulator` with obs
+  detached against a bench-local replica of the pre-obs event loop (no
+  tracer/profiler branch).  This isolates the *disabled-mode* cost the
+  instrumentation added to the hot path, and is asserted ≤5% (best-of-N
+  with a small absolute epsilon, since at these durations scheduler noise
+  rivals the effect being measured).
+* **Figure-1 workload** — one full ``run_trace`` of the figure-1 default
+  trace under each tracing mode (disabled / ring-buffer sink / JSONL file
+  sink), so the real cost of *enabling* tracing is on record.  Enabled
+  modes are only sanity-bounded: they do strictly more work per event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+from pathlib import Path
+
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.obs import JsonlFileSink, RingBufferSink, Tracer
+from repro.sim.engine import Simulator
+from repro.traces.synthesize import synthesize_trace
+from repro.traces.yajnik import trace_meta
+
+from benchmarks.conftest import bench_max_packets
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_obs.json"
+
+MICRO_EVENTS = 200_000
+BEST_OF = 5
+#: Absolute slack for the micro-bench: at ~100ms totals, one bad context
+#: switch is worth several percent on its own.
+EPSILON_S = 0.010
+
+
+class PreObsSimulator(Simulator):
+    """The engine with the pre-obs event loop (no tracer/profiler branch),
+    used as the micro-bench baseline."""
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+
+def _drive(sim: Simulator, n_events: int) -> None:
+    remaining = [n_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    sim.run()
+    assert sim.events_processed == n_events
+
+
+def _best_of(factory, runs: int = BEST_OF) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        sim = factory()
+        start = time.perf_counter()
+        _drive(sim, MICRO_EVENTS)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload_seconds(tracer: Tracer | None, synthetic, config) -> float:
+    start = time.perf_counter()
+    run_trace(synthetic, "cesrm", config, tracer=tracer)
+    return time.perf_counter() - start
+
+
+def test_tracing_overhead(tmp_path):
+    # -- engine micro-bench: disabled obs vs the pre-obs loop ----------
+    baseline_s = _best_of(PreObsSimulator)
+    disabled_s = _best_of(Simulator)
+    micro_ratio = disabled_s / baseline_s
+
+    # -- figure-1 workload under each mode -----------------------------
+    max_packets = bench_max_packets()
+    config = SimulationConfig(seed=0, max_packets=max_packets)
+    synthetic = synthesize_trace(
+        trace_meta("WRN951113"), seed=0, max_packets=max_packets
+    )
+    run_trace(synthetic, "cesrm", config)  # warm caches/imports
+
+    untraced_s = _workload_seconds(None, synthetic, config)
+    ring = RingBufferSink()
+    ring_s = _workload_seconds(Tracer(ring), synthetic, config)
+    jsonl_s = _workload_seconds(
+        Tracer(JsonlFileSink(tmp_path / "events.jsonl")), synthetic, config
+    )
+
+    payload = {
+        "suite": "obs-overhead",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "micro": {
+            "events": MICRO_EVENTS,
+            "best_of": BEST_OF,
+            "pre_obs_engine_s": round(baseline_s, 4),
+            "obs_disabled_s": round(disabled_s, 4),
+            "disabled_overhead_ratio": round(micro_ratio, 4),
+        },
+        "figure1_workload": {
+            "trace": "WRN951113",
+            "protocol": "cesrm",
+            "max_packets": max_packets,
+            "events_traced": ring.emitted,
+            "disabled_s": round(untraced_s, 4),
+            "ring_buffer_s": round(ring_s, 4),
+            "jsonl_s": round(jsonl_s, 4),
+            "ring_overhead_ratio": round(ring_s / untraced_s, 4),
+            "jsonl_overhead_ratio": round(jsonl_s / untraced_s, 4),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # Disabled-mode hot-path cost: ≤5% plus scheduler-noise slack.
+    assert disabled_s <= baseline_s * 1.05 + EPSILON_S, payload["micro"]
+    # Enabled modes do real per-event work; just keep them sane.
+    assert ring.emitted > 0
+    assert ring_s < untraced_s * 10, payload["figure1_workload"]
+    assert jsonl_s < untraced_s * 25, payload["figure1_workload"]

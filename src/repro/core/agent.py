@@ -30,6 +30,7 @@ from repro.core.policies import SelectionPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.net.network import Network
 from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
+from repro.obs.events import EventKind
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 from repro.srm.agent import SrmAgent
@@ -121,14 +122,45 @@ class CesrmAgent(SrmAgent):
     # ------------------------------------------------------------------
     def _after_loss_detected(self, src: str, seq: int, state: RequestState) -> None:
         choice = self.policy.select(self.cache_for(src))
-        if choice is None or choice.requestor != self.host_id:
-            return  # someone else is the expeditious requestor (or no cache)
+        tracer = self.sim.tracer
+        if choice is None:
+            if tracer is not None:
+                tracer.emit(
+                    self.sim.now,
+                    EventKind.CACHE_MISS,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                )
+            return  # no usable cache entry: SRM alone recovers this loss
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                EventKind.CACHE_HIT,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                requestor=choice.requestor,
+                replier=choice.replier,
+            )
+        if choice.requestor != self.host_id:
+            return  # someone else is the expeditious requestor
         if choice.replier == self.host_id:
             return  # degenerate tuple; cannot ask ourselves
         timer = Timer(self.sim, self._expedited_timer_fired, src, seq)
         self._expedited[(src, seq)] = (timer, choice)
         timer.start(self.reorder_delay)
         self.expedited_scheduled += 1
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                EventKind.ERQST_SCHEDULED,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                replier=choice.replier,
+                reorder_delay=self.reorder_delay,
+            )
 
     def _expedited_timer_fired(self, src: str, seq: int) -> None:
         entry = self._expedited.pop((src, seq), None)
@@ -150,6 +182,15 @@ class CesrmAgent(SrmAgent):
         )
         self.metrics.on_send(self.host_id, packet)
         self.net.unicast(choice.replier, packet)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.ERQST_SENT,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                replier=choice.replier,
+            )
 
     # ------------------------------------------------------------------
     # Hook: expedited request arrives -> immediate expedited reply (§3.2)
@@ -165,6 +206,15 @@ class CesrmAgent(SrmAgent):
             # recovery fails and SRM remains the fall-back.  Hearing the
             # request still reveals the packet exists.
             self.erqst_shared_loss += 1
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    self.sim.now,
+                    EventKind.ERQST_SHARED_LOSS,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                    requestor=packet.requestor or packet.origin,
+                )
             if (
                 src != self.host_id
                 and seq not in state.request_states
@@ -177,6 +227,15 @@ class CesrmAgent(SrmAgent):
             reply_state.scheduled() or reply_state.pending(self.sim.now)
         ):
             self.erqst_suppressed += 1
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    self.sim.now,
+                    EventKind.ERQST_SUPPRESSED,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                    requestor=packet.requestor or packet.origin,
+                )
             return  # a reply is scheduled or pending — §3.2's proviso
         self.erqst_answered += 1
         requestor = packet.requestor or packet.origin
@@ -194,6 +253,15 @@ class CesrmAgent(SrmAgent):
         )
         self.metrics.on_send(self.host_id, reply)
         self._send_expedited_reply(reply, packet)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.EREPL_SENT,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                requestor=requestor,
+            )
         if reply_state is None:
             reply_state = ReplyState()
             state.reply_states[seq] = reply_state
@@ -216,6 +284,16 @@ class CesrmAgent(SrmAgent):
         if packet.requestor is None or packet.replier is None:
             return  # unannotated reply (foreign/legacy); nothing to cache
         self.cache_for(src).observe(self._tuple_from_reply(packet))
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.CACHE_UPDATE,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                requestor=packet.requestor,
+                replier=packet.replier,
+            )
 
     def _tuple_from_reply(self, packet: Packet) -> RecoveryTuple:
         return RecoveryTuple(
@@ -234,6 +312,15 @@ class CesrmAgent(SrmAgent):
         if entry is not None:
             entry[0].cancel()
             self.expedited_cancelled += 1
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    self.sim.now,
+                    EventKind.ERQST_CANCELLED,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                    replier=entry[1].replier,
+                )
 
     def stop(self) -> None:
         super().stop()

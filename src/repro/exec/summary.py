@@ -75,6 +75,10 @@ class RunSummary:
     events_processed: int
     wall_time: float
     schema: int = field(default=SCHEMA_VERSION)
+    #: Observability summary (tracer counters / profiler hot-spots) of a
+    #: traced run; None (and omitted from the JSON form) otherwise, so
+    #: untraced summaries are byte-identical to pre-obs builds.
+    obs: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # RunResult <-> RunSummary
@@ -122,6 +126,7 @@ class RunSummary:
             sim_time=result.sim_time,
             events_processed=result.events_processed,
             wall_time=result.wall_time,
+            obs=result.obs,
         )
 
     def to_result(self) -> RunResult:
@@ -165,13 +170,17 @@ class RunSummary:
             sim_time=self.sim_time,
             events_processed=self.events_processed,
             wall_time=self.wall_time,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------
     # JSON
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        if data["obs"] is None:
+            del data["obs"]  # keep untraced summaries byte-stable
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunSummary":

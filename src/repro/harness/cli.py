@@ -9,9 +9,18 @@ single protocol/trace pair:
     $ cesrm figure1 --max-packets 5000 --jobs 4
     $ cesrm figure5 --full
     $ cesrm run --trace WRN951113 --protocol cesrm
+    $ cesrm trace --trace WRN951113 --outcome expedited --limit 5
+    $ cesrm trace --trace-out events.jsonl --profile
     $ cesrm all --jobs 8
     $ cesrm cache
     $ cesrm cache --clear
+
+The ``trace`` command (and ``run`` with ``--trace-out``/``--profile``)
+attaches the :mod:`repro.obs` instrumentation: it records the run's full
+event stream, folds it into one causal recovery timeline per lost packet
+(labelled expedited vs SRM fall-back), and optionally writes the stream
+to JSONL and profiles the engine's handlers.  Traced runs always simulate
+fresh — the run cache stores summaries, not event streams.
 
 Simulation runs go through :mod:`repro.exec`: cache misses fan out over
 ``--jobs`` worker processes and every completed run is stored in a
@@ -49,6 +58,7 @@ COMMANDS = (
     "synth",
     "run",
     "timeline",
+    "trace",
     "cache",
     "all",
 )
@@ -126,6 +136,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear",
         action="store_true",
         help="with the `cache` command: delete every stored run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="with `run`/`trace`: record the event stream to a JSONL file",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="with `run`/`trace`: profile the sim engine and print hot handlers",
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="with the `trace` command: only timelines of this host",
+    )
+    parser.add_argument(
+        "--seq",
+        type=int,
+        default=None,
+        help="with the `trace` command: only timelines of this sequence number",
+    )
+    parser.add_argument(
+        "--outcome",
+        default=None,
+        choices=["expedited", "srm", "late-data", "unrecovered"],
+        help="with the `trace` command: only timelines with this outcome",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with the `trace` command: max timelines printed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PREFIX",
+        help="with the `trace` command: also dump raw events whose kind "
+        "matches this dotted prefix (e.g. `net.`, `erqst.`)",
     )
     return parser
 
@@ -223,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
         out.append(_run_single(args, ctx))
     if args.command == "timeline":
         out.append(_timeline(args, ctx))
+    if args.command == "trace":
+        out.append(_trace_command(args, ctx))
 
     print("\n\n".join(out))
     cache = ctx.engine.cache
@@ -311,8 +365,81 @@ def _timeline(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
     return render_recovery_timeline(result, receiver, max_rows=30)
 
 
+def _traced_run(args: argparse.Namespace, ctx: exp.ExperimentContext):
+    """Run one trace/protocol pair with obs hooks attached.
+
+    Traced runs bypass the run cache deliberately: the cache stores only
+    ``RunSummary`` reductions, and the point of tracing is the full event
+    stream of a *fresh* execution.
+
+    Returns ``(result, ring, profiler)``; ``ring`` holds the in-memory
+    event stream, and a JSONL copy lands at ``--trace-out`` when given.
+    """
+    from repro.harness.runner import run_trace as _run_trace
+    from repro.obs import JsonlFileSink, RingBufferSink, SimProfiler, Tracer
+
+    ring = RingBufferSink()
+    sinks = [ring]
+    if args.trace_out:
+        sinks.append(JsonlFileSink(args.trace_out))
+    tracer = Tracer(*sinks)
+    profiler = SimProfiler() if args.profile else None
+    result = _run_trace(
+        ctx.trace(args.trace), args.protocol, ctx.config,
+        tracer=tracer, profiler=profiler,
+    )
+    return result, ring, profiler
+
+
+def _trace_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
+    """Record a traced run and pretty-print per-loss recovery timelines."""
+    from repro.obs import RecoveryTimeline
+
+    result, ring, profiler = _traced_run(args, ctx)
+    timeline = RecoveryTimeline.from_events(ring.events)
+    stories = timeline.stories
+    if args.host is not None:
+        stories = [s for s in stories if s.host == args.host]
+    if args.seq is not None:
+        stories = [s for s in stories if s.seqno == args.seq]
+    if args.outcome is not None:
+        stories = [s for s in stories if s.outcome == args.outcome]
+
+    counts = timeline.outcome_counts()
+    lines = [
+        f"{args.protocol} on {args.trace}: {ring.emitted} events, "
+        f"{len(timeline.stories)} losses "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})",
+    ]
+    if args.trace_out:
+        lines.append(f"  event stream written to {args.trace_out}")
+    shown = stories[: args.limit] if args.limit >= 0 else stories
+    for story in shown:
+        lines.append("")
+        lines.append(story.describe())
+    if len(shown) < len(stories):
+        lines.append("")
+        lines.append(
+            f"  ... {len(stories) - len(shown)} more timelines "
+            f"(raise --limit to see them)"
+        )
+    if args.events is not None:
+        matching = [e for e in ring.events if e.kind.startswith(args.events)]
+        lines.append("")
+        lines.append(f"events matching {args.events!r}: {len(matching)}")
+        lines.extend(f"  {e.describe()}" for e in matching[: max(args.limit, 0) * 10])
+    if profiler is not None:
+        lines.append("")
+        lines.append(profiler.describe())
+    return "\n".join(lines)
+
+
 def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
-    result = ctx.run(args.trace, args.protocol)
+    traced = bool(args.trace_out or args.profile)
+    if traced:
+        result, _, profiler = _traced_run(args, ctx)
+    else:
+        result = ctx.run(args.trace, args.protocol)
     lat = mean([result.avg_normalized_recovery_time(r) for r in result.receivers])
     lines = [
         f"{args.protocol} on {args.trace}: {result.n_packets} packets, "
@@ -330,6 +457,11 @@ def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
             f"replies={result.metrics.expedited_replies_sent}, "
             f"success={100 * result.metrics.expedited_success_rate:.0f}%"
         )
+    if traced:
+        if args.trace_out:
+            lines.append(f"  event stream written to {args.trace_out}")
+        if profiler is not None:
+            lines.append(profiler.describe())
     return "\n".join(lines)
 
 

@@ -56,6 +56,9 @@ class RunResult:
     sim_time: float = 0.0
     events_processed: int = 0
     wall_time: float = 0.0
+    #: Observability summary (tracer counters / profiler hot-spots) when the
+    #: run was traced or profiled; None on an untraced run.
+    obs: dict | None = None
 
     # ------------------------------------------------------------------
     # Figure-level derived quantities
@@ -146,8 +149,15 @@ def build_simulation(
     synthetic: SyntheticTrace,
     protocol: str,
     config: SimulationConfig,
+    tracer=None,
+    profiler=None,
 ) -> Simulation:
-    """Wire up engine, network, loss injection, and agents for one run."""
+    """Wire up engine, network, loss injection, and agents for one run.
+
+    ``tracer`` / ``profiler`` are optional :mod:`repro.obs` hooks; they are
+    deliberately not part of :class:`SimulationConfig` so that enabling them
+    cannot perturb the run's configuration digest (and hence the run cache).
+    """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
     if config.max_packets is not None:
@@ -156,6 +166,8 @@ def build_simulation(
     tree = trace.tree
 
     sim = Simulator()
+    sim.tracer = tracer
+    sim.profiler = profiler
     registry = RngRegistry(config.seed).fork(f"run:{protocol}:{trace.name}")
     metrics = MetricsCollector()
     network = Network(
@@ -231,11 +243,13 @@ def run_trace(
     synthetic: SyntheticTrace,
     protocol: str,
     config: SimulationConfig | None = None,
+    tracer=None,
+    profiler=None,
 ) -> RunResult:
     """Run one protocol over one trace and collect the paper's metrics."""
     config = config or SimulationConfig()
     wall_start = _time.perf_counter()
-    simulation = build_simulation(synthetic, protocol, config)
+    simulation = build_simulation(synthetic, protocol, config, tracer=tracer, profiler=profiler)
     sim = simulation.sim
     sim.run(until=simulation.end_time)
     if simulation.monitor is not None:
@@ -254,6 +268,14 @@ def run_trace(
         for host, agent in simulation.agents.items()
         if host != trace.tree.source
     }
+    obs = None
+    if tracer is not None or profiler is not None:
+        obs = {}
+        if tracer is not None:
+            tracer.close()
+            obs["trace"] = tracer.summary()
+        if profiler is not None:
+            obs["profile"] = profiler.summary()
     return RunResult(
         protocol=protocol,
         trace_name=trace.name,
@@ -274,6 +296,7 @@ def run_trace(
         sim_time=sim.now,
         events_processed=sim.events_processed,
         wall_time=_time.perf_counter() - wall_start,
+        obs=obs,
     )
 
 

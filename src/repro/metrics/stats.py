@@ -46,3 +46,55 @@ def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> fl
     if denominator == 0:
         return default
     return numerator / denominator
+
+
+class Histogram:
+    """A fixed-bucket histogram with running sum/min/max.
+
+    Buckets are defined by their upper ``edges`` (values above the last
+    edge land in an overflow bucket), so recording is O(#edges) with no
+    allocation — cheap enough for per-event observation in the tracer —
+    and the result serializes to plain JSON for ``RunSummary``.
+    """
+
+    #: Default edges suit latencies/delays in simulated seconds.
+    DEFAULT_EDGES = (
+        0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+    )
+
+    def __init__(self, edges: Sequence[float] | None = None) -> None:
+        self.edges = tuple(edges) if edges is not None else self.DEFAULT_EDGES
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError("histogram edges must be sorted")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        index = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain JSON data: edges, per-bucket counts, running stats."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min if self.total else 0.0,
+            "max": self.max if self.total else 0.0,
+        }

@@ -20,11 +20,12 @@ Three propagation modes exist, mirroring the paper:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Protocol
+from typing import Any, Callable, Protocol
 
 from repro.net.link import LinkState
 from repro.net.packet import Cast, Packet, PacketKind
 from repro.net.topology import MulticastTree, NodeKind
+from repro.obs.events import EventKind
 from repro.sim.engine import Simulator
 
 #: Loss-injection hook: ``(from_node, to_node, packet) -> True`` to drop the
@@ -160,6 +161,8 @@ class Network:
         """Flood ``packet`` over the tree from ``packet.origin``."""
         packet.cast = Cast.MULTICAST
         packet.sent_at = self.sim.now
+        if self.sim.tracer is not None:
+            self._trace_send(packet)
         self._flood(packet.origin, None, packet)
         return packet
 
@@ -170,6 +173,8 @@ class Network:
             raise ValueError("unicast to self")
         packet.cast = Cast.UNICAST
         packet.sent_at = self.sim.now
+        if self.sim.tracer is not None:
+            self._trace_send(packet, dest=dest)
         path = self.tree.path(packet.origin, dest)
         self._unicast_hop(path, 0, packet)
         return packet
@@ -180,6 +185,8 @@ class Network:
         packet.cast = Cast.SUBCAST
         packet.sent_at = self.sim.now
         packet.turning_point = turning_point
+        if self.sim.tracer is not None:
+            self._trace_send(packet, turning_point=turning_point)
         if turning_point == packet.origin:
             self._subcast_from(turning_point, packet)
             return packet
@@ -235,11 +242,46 @@ class Network:
         on_arrival: Callable[[str, str, Packet], None],
     ) -> None:
         self.crossings.record(packet)
+        tracer = self.sim.tracer
         if self.drop_fn is not None and self.drop_fn(u, v, packet):
             self.packets_dropped += 1
+            if tracer is not None:
+                tracer.emit(
+                    self.sim.now,
+                    EventKind.NET_DROP,
+                    node=v,
+                    source=packet.source,
+                    seqno=packet.seqno,
+                    pkt=packet.kind.value,
+                    link=f"{u}->{v}",
+                )
             return
         link = self._links[(u, v)]
-        arrival_time = link.enqueue(self.sim.now, packet.size_bytes)
+        now = self.sim.now
+        if tracer is not None:
+            wait = link.busy_until - now
+            tracer.emit(
+                now,
+                EventKind.NET_HOP,
+                node=v,
+                source=packet.source,
+                seqno=packet.seqno,
+                pkt=packet.kind.value,
+                cast=packet.cast.value,
+                link=f"{u}->{v}",
+            )
+            if wait > 0:
+                tracer.emit(
+                    now,
+                    EventKind.NET_QUEUE,
+                    node=v,
+                    source=packet.source,
+                    seqno=packet.seqno,
+                    link=f"{u}->{v}",
+                    wait=wait,
+                )
+                tracer.observe("net.queueing_delay", wait)
+        arrival_time = link.enqueue(now, packet.size_bytes)
         self.sim.schedule_at(arrival_time, on_arrival, v, u, packet)
 
     def _maybe_deliver(self, node: str, packet: Packet, expected: bool = False) -> None:
@@ -251,4 +293,28 @@ class Network:
         if node == packet.origin:
             return
         self.packets_delivered += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.NET_DELIVER,
+                node=node,
+                source=packet.source,
+                seqno=packet.seqno,
+                pkt=packet.kind.value,
+                cast=packet.cast.value,
+                origin=packet.origin,
+                latency=self.sim.now - packet.sent_at,
+            )
         agent.receive(packet)
+
+    def _trace_send(self, packet: Packet, **detail: Any) -> None:
+        self.sim.tracer.emit(
+            self.sim.now,
+            EventKind.NET_SEND,
+            node=packet.origin,
+            source=packet.source,
+            seqno=packet.seqno,
+            pkt=packet.kind.value,
+            cast=packet.cast.value,
+            **detail,
+        )

@@ -1,0 +1,41 @@
+"""Observability: structured event tracing, timelines, and profiling.
+
+The subsystem has four parts:
+
+* :mod:`repro.obs.events` — the typed, timestamped :class:`TraceEvent`
+  model and the :class:`EventKind` vocabulary;
+* :mod:`repro.obs.sink` / :mod:`repro.obs.tracer` — the zero-overhead-
+  when-disabled event bus: a :class:`Tracer` fans events out to
+  :class:`RingBufferSink` / :class:`JsonlFileSink` / :class:`FilterSink`
+  sinks and keeps run-level counters and histograms;
+* :mod:`repro.obs.timeline` — :class:`RecoveryTimeline`, which folds an
+  event stream into one causal :class:`LossStory` per lost packet
+  (expedited vs SRM-fallback, every duplicate request/repair, final
+  recovery time);
+* :mod:`repro.obs.profile` — :class:`SimProfiler`, per-handler event
+  counts and wall-clock for the simulation engine.
+
+Attach tracing to a run with ``run_trace(..., tracer=Tracer(sink))`` or
+from the command line with ``cesrm trace`` / ``--trace-out``.
+"""
+
+from repro.obs.events import EventKind, TraceEvent, callback_label, callback_node
+from repro.obs.profile import SimProfiler
+from repro.obs.sink import FilterSink, JsonlFileSink, RingBufferSink, TraceSink
+from repro.obs.timeline import LossStory, RecoveryTimeline
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "callback_label",
+    "callback_node",
+    "SimProfiler",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "FilterSink",
+    "LossStory",
+    "RecoveryTimeline",
+    "Tracer",
+]

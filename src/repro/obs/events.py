@@ -1,0 +1,152 @@
+"""Typed, timestamped trace events.
+
+Every instrumented layer emits :class:`TraceEvent` records through the
+run's :class:`~repro.obs.tracer.Tracer`.  An event is identified by a
+dotted ``kind`` string (stable, grep-able, namespaced by layer), carries
+the simulated ``time`` it happened at, the ``node`` it happened on, and —
+for everything pertaining to a data packet — the ``(source, seqno)``
+identity of that packet, which is what lets
+:class:`~repro.obs.timeline.RecoveryTimeline` fold the stream back into
+one causal story per loss.  Free-form context goes in ``detail``.
+
+The full kind vocabulary lives in :class:`EventKind`; sinks and the CLI
+filter on prefixes (``net.``, ``timer.``, ``cache.`` ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+
+class EventKind:
+    """The dotted event-kind vocabulary, grouped by emitting layer."""
+
+    # -- simulation engine: protocol timers ----------------------------
+    TIMER_SCHEDULE = "timer.schedule"
+    TIMER_FIRE = "timer.fire"
+    TIMER_CANCEL = "timer.cancel"
+
+    # -- network layer -------------------------------------------------
+    NET_SEND = "net.send"        # a host injects a packet (cast recorded)
+    NET_HOP = "net.hop"          # one directed link crossing
+    NET_QUEUE = "net.queue"      # nonzero FIFO queueing delay on a link
+    NET_DROP = "net.drop"        # loss injection removed the packet
+    NET_DELIVER = "net.deliver"  # delivered to the agent at a host
+
+    # -- SRM recovery --------------------------------------------------
+    LOSS_DETECTED = "loss.detected"
+    REQUEST_SENT = "request.sent"            # multicast RQST fired
+    REQUEST_BACKOFF = "request.backoff"      # suppressed by a foreign request
+    REPLY_SCHEDULED = "reply.scheduled"
+    REPLY_SENT = "reply.sent"
+    REPLY_SUPPRESSED = "reply.suppressed"    # scheduled reply killed by another's
+    REPLY_DUPLICATE = "reply.duplicate"      # repair for an already-held packet
+    RECOVERY_COMPLETED = "recovery.completed"
+    RECOVERY_UNDETECTED = "recovery.undetected"
+    RECOVERY_LATE_DATA = "recovery.late-data"
+
+    # -- CESRM expedited recovery (§3) ---------------------------------
+    CACHE_HIT = "cache.hit"      # selection policy proposed a pair
+    CACHE_MISS = "cache.miss"    # no usable tuple for the loss's source
+    CACHE_UPDATE = "cache.update"
+    ERQST_SCHEDULED = "erqst.scheduled"
+    ERQST_SENT = "erqst.sent"
+    ERQST_CANCELLED = "erqst.cancelled"
+    ERQST_SHARED_LOSS = "erqst.shared-loss"  # replier missed the packet too
+    ERQST_SUPPRESSED = "erqst.suppressed"    # replier's SRM reply already pending
+    EREPL_SENT = "erepl.sent"
+
+    # -- runtime verification ------------------------------------------
+    INVARIANT_VIOLATION = "invariant.violation"
+
+
+class TraceEvent:
+    """One timestamped observation from an instrumented layer."""
+
+    __slots__ = ("time", "kind", "node", "source", "seqno", "detail")
+
+    def __init__(
+        self,
+        time: float,
+        kind: str,
+        node: str | None = None,
+        source: str | None = None,
+        seqno: int | None = None,
+        detail: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.node = node
+        self.source = source
+        self.seqno = seqno
+        self.detail = dict(detail) if detail else {}
+
+    @property
+    def packet_id(self) -> tuple[str, int] | None:
+        """Identity of the data packet the event pertains to, if any."""
+        if self.source is None or self.seqno is None or self.seqno < 0:
+            return None
+        return (self.source, self.seqno)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON data (the JSONL wire format; None fields omitted)."""
+        out: dict[str, Any] = {"t": self.time, "kind": self.kind}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.source is not None:
+            out["source"] = self.source
+        if self.seqno is not None:
+            out["seqno"] = self.seqno
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            time=data["t"],
+            kind=data["kind"],
+            node=data.get("node"),
+            source=data.get("source"),
+            seqno=data.get("seqno"),
+            detail=data.get("detail"),
+        )
+
+    def describe(self) -> str:
+        """One human-readable line (the ``cesrm trace --events`` format)."""
+        where = f" [{self.node}]" if self.node else ""
+        packet = ""
+        if self.seqno is not None and self.seqno >= 0:
+            packet = f" {self.source}:{self.seqno}"
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return (
+            f"t={self.time:9.4f}{where} {self.kind}{packet}"
+            + (f" ({extras})" if extras else "")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceEvent({self.describe()})"
+
+
+def callback_label(callback: Callable[..., Any]) -> str:
+    """A stable display name for an event/timer callback.
+
+    Bound methods name their class (``SrmAgent._request_timer_fired``);
+    everything else falls back to ``__qualname__``.
+    """
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        return f"{type(owner).__name__}.{callback.__name__}"
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+def callback_node(callback: Callable[..., Any]) -> str | None:
+    """The host a callback belongs to, when its owner is an agent."""
+    owner = getattr(callback, "__self__", None)
+    return getattr(owner, "host_id", None) if owner is not None else None
+
+
+def iter_events(rows: Iterator[Mapping[str, Any] | TraceEvent]):
+    """Normalize a stream of dicts (JSONL) or events into events."""
+    for row in rows:
+        yield row if isinstance(row, TraceEvent) else TraceEvent.from_dict(row)

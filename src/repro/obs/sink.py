@@ -1,0 +1,116 @@
+"""Trace sinks: where emitted events go.
+
+A sink is anything with ``emit(event)`` / ``close()`` (the
+:class:`TraceSink` protocol).  Two implementations cover the common
+cases: :class:`RingBufferSink` keeps the last N events in memory for
+in-process reconstruction (timelines, tests), and :class:`JsonlFileSink`
+streams events to disk as JSON lines for offline analysis and the
+``cesrm trace --trace-out`` artifact.  :class:`FilterSink` wraps another
+sink and keeps only selected kind prefixes and/or nodes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Protocol
+
+from repro.obs.events import TraceEvent
+
+
+class TraceSink(Protocol):
+    """What the tracer requires of an attached sink."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Nothing to release; the buffer stays readable after close."""
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the front of the ring."""
+        return self.emitted - len(self._buffer)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buffer)
+
+
+class JsonlFileSink:
+    """Appends every event to a file as one JSON object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: IO[str] | None = self.path.open("w")
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        assert self._file is not None, "sink is closed"
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @staticmethod
+    def read(path: str | Path) -> list[TraceEvent]:
+        """Load a JSONL trace file back into events."""
+        out = []
+        with Path(path).open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    out.append(TraceEvent.from_dict(json.loads(line)))
+        return out
+
+
+class FilterSink:
+    """Forwards only events matching the given kind prefixes / nodes."""
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        kinds: Iterable[str] | None = None,
+        nodes: Iterable[str] | None = None,
+    ) -> None:
+        self.sink = sink
+        self.kinds = tuple(kinds) if kinds else None
+        self.nodes = frozenset(nodes) if nodes else None
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.kinds is not None and not event.kind.startswith(self.kinds):
+            return
+        if self.nodes is not None and event.node not in self.nodes:
+            return
+        self.sink.emit(event)
+
+    def close(self) -> None:
+        self.sink.close()

@@ -1,0 +1,225 @@
+"""Fold an event stream back into one causal story per lost packet.
+
+The paper's headline numbers (recovery time, Fig. 1/2; overhead, Fig. 5)
+are aggregates over thousands of individual loss recoveries.  When one of
+those aggregates looks wrong, the question is always about a *specific*
+loss: who detected it, did the cached expeditious pair act, did the
+expedited path succeed or did SRM's suppression machinery recover it, and
+how many duplicate requests/repairs did the group pay along the way.
+
+:class:`RecoveryTimeline` answers that from a trace: it groups events by
+data-packet identity ``(source, seqno)`` and per detecting host, and
+builds one :class:`LossStory` per detected loss.  A story's own-host
+events (detection, expedited attempts, request rounds, the completing
+repair) interleave with group-context events for the same packet
+(requests/replies from other hosts — the ones that suppressed or repaired
+this host), ordered by simulated time, so reading a story top to bottom
+is reading the recovery's causality.
+
+Outcome labels:
+
+* ``expedited`` — the completing repair was an expedited reply (§3.2);
+* ``srm`` — SRM's fall-back scheme completed the recovery;
+* ``late-data`` — the "lost" packet arrived on the data path (reordering);
+* ``unrecovered`` — the run ended with the loss still open.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.obs.events import EventKind, TraceEvent, iter_events
+
+#: Own-host event kinds that belong to a loss story.
+_OWN_KINDS = frozenset(
+    {
+        EventKind.LOSS_DETECTED,
+        EventKind.REQUEST_SENT,
+        EventKind.REQUEST_BACKOFF,
+        EventKind.CACHE_HIT,
+        EventKind.CACHE_MISS,
+        EventKind.ERQST_SCHEDULED,
+        EventKind.ERQST_SENT,
+        EventKind.ERQST_CANCELLED,
+        EventKind.RECOVERY_COMPLETED,
+        EventKind.RECOVERY_LATE_DATA,
+    }
+)
+
+#: Group-wide kinds that give a loss its context (who repaired whom).
+_CONTEXT_KINDS = frozenset(
+    {
+        EventKind.REQUEST_SENT,
+        EventKind.REPLY_SCHEDULED,
+        EventKind.REPLY_SENT,
+        EventKind.REPLY_SUPPRESSED,
+        EventKind.ERQST_SENT,
+        EventKind.ERQST_SHARED_LOSS,
+        EventKind.ERQST_SUPPRESSED,
+        EventKind.EREPL_SENT,
+        EventKind.NET_DROP,
+    }
+)
+
+
+@dataclass
+class LossStory:
+    """The causal record of one detected loss at one host."""
+
+    host: str
+    source: str
+    seqno: int
+    detected_at: float
+    #: Time-ordered events: this host's own steps plus group context.
+    steps: list[TraceEvent] = field(default_factory=list)
+    recovered_at: float | None = None
+    outcome: str = "unrecovered"
+
+    @property
+    def recovery_time(self) -> float | None:
+        """Detection-to-repair latency (the Fig. 1 quantity), if recovered."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.detected_at
+
+    @property
+    def expedited(self) -> bool:
+        return self.outcome == "expedited"
+
+    def own_steps(self) -> list[TraceEvent]:
+        """Only this host's events (no group context)."""
+        return [e for e in self.steps if e.node == self.host]
+
+    def count(self, kind: str, own_only: bool = False) -> int:
+        return sum(
+            1
+            for e in (self.own_steps() if own_only else self.steps)
+            if e.kind == kind
+        )
+
+    @property
+    def requests_sent(self) -> int:
+        """SRM request rounds this host itself fired."""
+        return self.count(EventKind.REQUEST_SENT, own_only=True)
+
+    @property
+    def duplicate_repairs(self) -> int:
+        """Repairs the group sent for this packet beyond the first."""
+        repairs = self.count(EventKind.REPLY_SENT) + self.count(
+            EventKind.EREPL_SENT
+        )
+        return max(0, repairs - 1)
+
+    def describe(self) -> str:
+        """The pretty-printed timeline (``cesrm trace`` output unit)."""
+        took = (
+            f"{self.recovery_time * 1000:.1f} ms"
+            if self.recovery_time is not None
+            else "never"
+        )
+        lines = [
+            f"loss {self.source}:{self.seqno} at {self.host} — "
+            f"{self.outcome} (detected t={self.detected_at:.4f}, "
+            f"recovered {took})"
+        ]
+        for event in self.steps:
+            marker = "*" if event.node == self.host else " "
+            lines.append(f"  {marker} {event.describe()}")
+        return "\n".join(lines)
+
+
+class RecoveryTimeline:
+    """Per-loss causal stories reconstructed from a trace-event stream."""
+
+    def __init__(self, stories: list[LossStory]) -> None:
+        self.stories = stories
+
+    @classmethod
+    def from_events(
+        cls, events: Iterable[TraceEvent | Mapping]
+    ) -> "RecoveryTimeline":
+        """Fold ``events`` (events or JSONL dicts) into loss stories."""
+        # Bucket every packet-scoped event by data-packet identity.
+        by_packet: dict[tuple[str, int], list[TraceEvent]] = defaultdict(list)
+        for event in iter_events(iter(events)):
+            packet = event.packet_id
+            if packet is not None and (
+                event.kind in _OWN_KINDS or event.kind in _CONTEXT_KINDS
+            ):
+                by_packet[packet].append(event)
+
+        stories: list[LossStory] = []
+        for (source, seqno), bucket in sorted(by_packet.items()):
+            bucket.sort(key=lambda e: e.time)
+            detectors = [
+                e for e in bucket if e.kind == EventKind.LOSS_DETECTED
+            ]
+            for detection in detectors:
+                host = detection.node
+                assert host is not None
+                story = LossStory(
+                    host=host,
+                    source=source,
+                    seqno=seqno,
+                    detected_at=detection.time,
+                )
+                for event in bucket:
+                    own = event.node == host and event.kind in _OWN_KINDS
+                    context = (
+                        event.node != host and event.kind in _CONTEXT_KINDS
+                    )
+                    if not (own or context):
+                        continue
+                    story.steps.append(event)
+                    if own and event.kind == EventKind.RECOVERY_COMPLETED:
+                        story.recovered_at = event.time
+                        story.outcome = (
+                            "expedited"
+                            if event.detail.get("expedited")
+                            else "srm"
+                        )
+                    elif own and event.kind == EventKind.RECOVERY_LATE_DATA:
+                        story.recovered_at = event.time
+                        story.outcome = "late-data"
+                stories.append(story)
+        stories.sort(key=lambda s: (s.detected_at, s.host))
+        return cls(stories)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_host(self, host: str) -> list[LossStory]:
+        return [s for s in self.stories if s.host == host]
+
+    def for_packet(self, source: str, seqno: int) -> list[LossStory]:
+        return [
+            s for s in self.stories if s.source == source and s.seqno == seqno
+        ]
+
+    def with_outcome(self, outcome: str) -> list[LossStory]:
+        return [s for s in self.stories if s.outcome == outcome]
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for story in self.stories:
+            counts[story.outcome] = counts.get(story.outcome, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def describe(self, limit: int | None = None) -> str:
+        """Render every (or the first ``limit``) stories plus a footer."""
+        shown = self.stories if limit is None else self.stories[:limit]
+        parts = [story.describe() for story in shown]
+        hidden = len(self.stories) - len(shown)
+        footer = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in self.outcome_counts().items()
+        )
+        if hidden > 0:
+            parts.append(f"... {hidden} more stories not shown")
+        parts.append(f"{len(self.stories)} loss stories ({footer or 'none'})")
+        return "\n\n".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.stories)

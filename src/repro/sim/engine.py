@@ -48,6 +48,12 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        #: Optional observability hooks (repro.obs).  Both default to None
+        #: — the disabled state — so an untraced run pays only an
+        #: ``is None`` branch per event; instrumented layers reach the
+        #: tracer through this single plumbing point.
+        self.tracer = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -107,7 +113,10 @@ class Simulator:
             self._now = event.time
             event.fired = True
             self._events_processed += 1
-            event.callback(*event.args)
+            if self.profiler is None:
+                event.callback(*event.args)
+            else:
+                self.profiler.record_call(event.callback, event.args)
             return True
         return False
 

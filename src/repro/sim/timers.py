@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs.events import EventKind, callback_label, callback_node
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 
@@ -21,6 +22,10 @@ class Timer:
     The callback is supplied once at construction; ``start`` (re)arms the
     timer, implicitly cancelling any previous arming.  ``expiry`` exposes the
     absolute fire time while armed.
+
+    When the engine has a tracer attached, every arm/fire/cancel emits a
+    ``timer.*`` trace event labelled with the callback (and attributed to
+    the owning agent's host when the callback is an agent method).
     """
 
     def __init__(self, sim: Simulator, callback: Callable[..., Any], *args: Any) -> None:
@@ -44,23 +49,37 @@ class Timer:
 
     def start(self, delay: float) -> None:
         """Arm (or re-arm) the timer ``delay`` seconds from now."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        self.start_at(self._sim.now + delay)
 
     def start_at(self, time: float) -> None:
         """Arm (or re-arm) the timer at the absolute simulated ``time``."""
         self.cancel()
         self._event = self._sim.schedule_at(time, self._fire)
+        if self._sim.tracer is not None:
+            self._trace(EventKind.TIMER_SCHEDULE, at=time)
 
     def cancel(self) -> None:
         """Disarm the timer.  Idempotent; safe when never started."""
         if self._event is not None:
+            if self._sim.tracer is not None and self._event.pending:
+                self._trace(EventKind.TIMER_CANCEL)
             self._event.cancel()
             self._event = None
 
     def _fire(self) -> None:
         self._event = None
+        if self._sim.tracer is not None:
+            self._trace(EventKind.TIMER_FIRE)
         self._callback(*self._args)
+
+    def _trace(self, kind: str, **detail: Any) -> None:
+        self._sim.tracer.emit(
+            self._sim.now,
+            kind,
+            node=callback_node(self._callback),
+            timer=callback_label(self._callback),
+            **detail,
+        )
 
 
 class PeriodicTimer:
@@ -101,13 +120,29 @@ class PeriodicTimer:
         self.stop()
         delay = self.period if first_delay is None else first_delay
         self._event = self._sim.schedule(delay, self._fire)
+        if self._sim.tracer is not None:
+            self._trace(EventKind.TIMER_SCHEDULE, at=self._event.time)
 
     def stop(self) -> None:
         if self._event is not None:
+            if self._sim.tracer is not None and self._event.pending:
+                self._trace(EventKind.TIMER_CANCEL)
             self._event.cancel()
             self._event = None
 
     def _fire(self) -> None:
         self._event = self._sim.schedule(self.period, self._fire)
         self._ticks += 1
+        if self._sim.tracer is not None:
+            self._trace(EventKind.TIMER_FIRE, tick=self._ticks)
         self._callback(*self._args)
+
+    def _trace(self, kind: str, **detail: Any) -> None:
+        self._sim.tracer.emit(
+            self._sim.now,
+            kind,
+            node=callback_node(self._callback),
+            timer=callback_label(self._callback),
+            period=self.period,
+            **detail,
+        )

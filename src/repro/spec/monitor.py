@@ -8,6 +8,7 @@ breaks — so a failing fuzz case points directly at the offending state.
 
 from __future__ import annotations
 
+from repro.obs.events import EventKind
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
 from repro.spec.invariants import ALL_INVARIANTS, Invariant
@@ -66,5 +67,13 @@ class InvariantMonitor:
             for invariant in self.invariants:
                 message = invariant.check(agent, now)
                 if message is not None:
+                    if self.sim.tracer is not None:
+                        self.sim.tracer.emit(
+                            now,
+                            EventKind.INVARIANT_VIOLATION,
+                            node=agent.host_id,
+                            invariant=invariant.name,
+                            message=message,
+                        )
                     raise InvariantViolation(invariant.name, message, now)
         self.checks_run += 1

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.metrics.collector import MetricsCollector
 from repro.net.network import Network
 from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
+from repro.obs.events import EventKind
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer, Timer
 from repro.srm.constants import SrmParams
@@ -232,6 +233,14 @@ class SrmAgent:
             # (possible only with reordering); treat as a zero-cost repair.
             request.timer.cancel()
             self.metrics.on_late_arrival(self.host_id, seq)
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    self.sim.now,
+                    EventKind.RECOVERY_LATE_DATA,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                )
         self._on_packet_obtained(src, seq)
 
     def _advance_stream(self, src: str, new_max: int) -> None:
@@ -272,6 +281,16 @@ class SrmAgent:
                 distance, request.backoff
             )
         self.metrics.on_loss_detected(self.host_id, seq, now)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                now,
+                EventKind.LOSS_DETECTED,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                backoff=initial_backoff,
+                first_timer=request.timer.expiry,
+            )
         self._after_loss_detected(src, seq, request)
 
     # ------------------------------------------------------------------
@@ -295,6 +314,15 @@ class SrmAgent:
         self.metrics.on_send(self.host_id, packet)
         self.net.multicast(packet)
         request.requests_sent += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.REQUEST_SENT,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                round=request.requests_sent,
+            )
         # Schedule the next round and enter back-off abstinence.
         request.backoff += 1
         lo, hi = self.params.request_interval(distance, request.backoff)
@@ -324,6 +352,16 @@ class SrmAgent:
             request.abstain_until = self.sim.now + self.params.backoff_abstinence(
                 distance, request.backoff
             )
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    self.sim.now,
+                    EventKind.REQUEST_BACKOFF,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                    suppressed_by=packet.origin,
+                    backoff=request.backoff,
+                )
             return
         if self.detect_on_request:
             # First news of this packet comes from someone else's request:
@@ -353,6 +391,15 @@ class SrmAgent:
             state.timer = Timer(self.sim, self._reply_timer_fired, src, seq)
         lo, hi = self.params.reply_interval(distance)
         state.timer.start(self.rng.uniform(lo, hi))
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.REPLY_SCHEDULED,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                requestor=requestor,
+            )
 
     def _reply_timer_fired(self, src: str, seq: int) -> None:
         state = self.source_state(src).reply_states.get(seq)
@@ -375,6 +422,15 @@ class SrmAgent:
         self.net.multicast(packet)
         state.replies_sent += 1
         state.hold_until = self.sim.now + self.params.reply_abstinence(distance)
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.REPLY_SENT,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                requestor=requestor,
+            )
 
     def _on_reply(self, packet: Packet) -> None:
         src = packet.source
@@ -388,20 +444,53 @@ class SrmAgent:
             request = state.request_states.pop(seq, None)
             if request is not None:
                 request.timer.cancel()
+                expedited = packet.kind is PacketKind.EREPL
                 self.metrics.on_recovery(
                     host=self.host_id,
                     seq=seq,
                     latency=now - request.detected_at,
-                    expedited=packet.kind is PacketKind.EREPL,
+                    expedited=expedited,
                     requests_sent=request.requests_sent,
                 )
+                if self.sim.tracer is not None:
+                    self.sim.tracer.emit(
+                        now,
+                        EventKind.RECOVERY_COMPLETED,
+                        node=self.host_id,
+                        source=src,
+                        seqno=seq,
+                        expedited=expedited,
+                        latency=now - request.detected_at,
+                        replier=packet.replier or packet.origin,
+                        requests_sent=request.requests_sent,
+                    )
+                    self.sim.tracer.observe(
+                        "recovery.latency", now - request.detected_at
+                    )
             else:
                 # Repaired before the gap was even noticed.
                 state.stream.ever_lost.add(seq)
                 self.metrics.on_undetected_recovery(self.host_id, seq)
+                if self.sim.tracer is not None:
+                    self.sim.tracer.emit(
+                        now,
+                        EventKind.RECOVERY_UNDETECTED,
+                        node=self.host_id,
+                        source=src,
+                        seqno=seq,
+                    )
             self._on_packet_obtained(src, seq)
         else:
             self.metrics.on_duplicate_reply(self.host_id, seq)
+            if self.sim.tracer is not None:
+                self.sim.tracer.emit(
+                    now,
+                    EventKind.REPLY_DUPLICATE,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                    replier=packet.replier or packet.origin,
+                )
         # Anyone who hears a reply observes reply abstinence (§2.2) and
         # suppresses any reply of their own.
         reply_state = state.reply_states.get(seq)
@@ -409,6 +498,15 @@ class SrmAgent:
             reply_state = ReplyState()
             state.reply_states[seq] = reply_state
         if reply_state.timer is not None:
+            if self.sim.tracer is not None and reply_state.scheduled():
+                self.sim.tracer.emit(
+                    now,
+                    EventKind.REPLY_SUPPRESSED,
+                    node=self.host_id,
+                    source=src,
+                    seqno=seq,
+                    suppressed_by=packet.origin,
+                )
             reply_state.timer.cancel()
         requestor = packet.requestor or packet.origin
         distance = self.distances.get_or(requestor, self.params.default_distance)

@@ -158,7 +158,7 @@ class SyntheticTrace:
         combo = self.link_combos.get(packet, frozenset())
         path = self.trace.tree.path(self.trace.tree.source, receiver)
         path_links = set(zip(path, path[1:]))
-        on_path = [l for l in combo if l in path_links]
+        on_path = [link for link in combo if link in path_links]
         if len(on_path) != 1:
             raise TraceError(
                 f"packet {packet}: expected exactly one responsible link for "

@@ -129,7 +129,7 @@ def calibrate_link_rates(
     if target_losses <= 0:
         return {link: 0.0 for link in propensities}
     max_total = expected_total_losses(
-        tree, {l: rate_cap for l in propensities}, n_packets
+        tree, {link: rate_cap for link in propensities}, n_packets
     )
     if target_losses > max_total:
         raise TraceError(
@@ -137,7 +137,7 @@ def calibrate_link_rates(
         )
 
     def rates_at(scale: float) -> dict[LinkId, float]:
-        return {l: min(p * scale, rate_cap) for l, p in propensities.items()}
+        return {link: min(p * scale, rate_cap) for link, p in propensities.items()}
 
     lo, hi = 0.0, 1.0
     while expected_total_losses(tree, rates_at(hi), n_packets) < target_losses:

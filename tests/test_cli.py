@@ -54,6 +54,40 @@ class TestParser:
         assert args.command == "cache"
         assert args.clear
 
+    def test_trace_command_options(self):
+        args = build_parser().parse_args(
+            [
+                "trace",
+                "--trace",
+                "WRN951216",
+                "--trace-out",
+                "events.jsonl",
+                "--profile",
+                "--host",
+                "r3",
+                "--seq",
+                "42",
+                "--outcome",
+                "expedited",
+                "--limit",
+                "5",
+                "--events",
+                "erqst.",
+            ]
+        )
+        assert args.command == "trace"
+        assert args.trace_out == "events.jsonl"
+        assert args.profile
+        assert args.host == "r3"
+        assert args.seq == 42
+        assert args.outcome == "expedited"
+        assert args.limit == 5
+        assert args.events == "erqst."
+
+    def test_bad_outcome_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--outcome", "nope"])
+
 
 class TestMain:
     def test_table1(self, capsys):
@@ -145,6 +179,103 @@ class TestMain:
         assert main(["figure2", "--all-traces", "--max-packets", "300"]) == 0
         out = capsys.readouterr().out
         assert out.count("Figure 2") == 14
+
+    def test_trace_command_prints_timelines(self, capsys):
+        assert main(
+            [
+                "trace",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--limit",
+                "2",
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "losses" in out
+        assert "loss.detected" in out
+        assert "loss s:" in out
+
+    def test_trace_outcome_filter(self, capsys):
+        assert main(
+            [
+                "trace",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--outcome",
+                "expedited",
+                "--limit",
+                "1",
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # every printed story carries the requested outcome label
+        for line in out.splitlines():
+            if line.startswith("loss "):
+                assert "— expedited" in line
+
+    def test_trace_out_writes_valid_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(
+            [
+                "trace",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--trace-out",
+                str(path),
+                "--limit",
+                "0",
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+        from repro.obs import JsonlFileSink, RecoveryTimeline
+
+        events = JsonlFileSink.read(path)
+        assert events
+        assert len(RecoveryTimeline.from_events(events).stories) > 0
+
+    def test_run_with_profile(self, capsys):
+        assert main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--profile",
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cesrm on WRN951216" in out
+        assert "profile:" in out
+
+    def test_run_with_trace_out(self, capsys, tmp_path):
+        path = tmp_path / "run-events.jsonl"
+        assert main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--trace-out",
+                str(path),
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "event stream written to" in out
+        assert path.exists()
 
 
 class TestExecIntegration:

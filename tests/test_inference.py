@@ -73,7 +73,7 @@ class TestSubtreeEstimator:
 
     def test_zero_losses_give_zero_rates(self):
         tree = two_subtrees()
-        trace = bernoulli_trace(tree, {l: 0.0 for l in tree.links}, 100)
+        trace = bernoulli_trace(tree, {link: 0.0 for link in tree.links}, 100)
         assert all(v == 0.0 for v in estimate_link_rates_subtree(trace).values())
 
     def test_chain_loss_attributed_to_lowest_link(self):

@@ -1,0 +1,193 @@
+"""Unit tests for the repro.obs event model, sinks, tracer, and profiler."""
+
+import json
+
+import pytest
+
+from repro.metrics.stats import Histogram
+from repro.obs import (
+    EventKind,
+    FilterSink,
+    JsonlFileSink,
+    RingBufferSink,
+    SimProfiler,
+    TraceEvent,
+    Tracer,
+    callback_label,
+    callback_node,
+)
+from repro.sim.engine import Simulator
+
+
+class TestTraceEvent:
+    def test_round_trip(self):
+        event = TraceEvent(
+            1.5, EventKind.NET_DROP, node="r1", source="s", seqno=7,
+            detail={"link": "x1->r1"},
+        )
+        again = TraceEvent.from_dict(event.to_dict())
+        assert again.time == 1.5
+        assert again.kind == "net.drop"
+        assert again.node == "r1"
+        assert again.packet_id == ("s", 7)
+        assert again.detail == {"link": "x1->r1"}
+
+    def test_none_fields_omitted_from_dict(self):
+        event = TraceEvent(0.0, EventKind.TIMER_FIRE)
+        assert event.to_dict() == {"t": 0.0, "kind": "timer.fire"}
+
+    def test_packet_id_requires_real_seqno(self):
+        assert TraceEvent(0.0, "x", source="s", seqno=-1).packet_id is None
+        assert TraceEvent(0.0, "x", source="s").packet_id is None
+        assert TraceEvent(0.0, "x", seqno=3).packet_id is None
+
+    def test_describe_mentions_packet_and_detail(self):
+        event = TraceEvent(
+            2.0, EventKind.REPLY_SENT, node="r2", source="s", seqno=4,
+            detail={"requestor": "r1"},
+        )
+        text = event.describe()
+        assert "[r2]" in text
+        assert "s:4" in text
+        assert "requestor=r1" in text
+
+
+class TestCallbackHelpers:
+    def test_bound_method_label_and_node(self):
+        class FakeAgent:
+            host_id = "r9"
+
+            def fire(self):
+                pass
+
+        agent = FakeAgent()
+        assert callback_label(agent.fire) == "FakeAgent.fire"
+        assert callback_node(agent.fire) == "r9"
+
+    def test_plain_function_label(self):
+        def on_tick():
+            pass
+
+        assert "on_tick" in callback_label(on_tick)
+        assert callback_node(on_tick) is None
+
+
+class TestSinks:
+    def test_ring_buffer_caps_and_counts(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.emit(TraceEvent(float(i), "x"))
+        assert ring.emitted == 5
+        assert ring.dropped == 2
+        assert len(ring) == 3
+        assert [e.time for e in ring.events] == [2.0, 3.0, 4.0]
+
+    def test_ring_buffer_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlFileSink(path)
+        sink.emit(TraceEvent(0.5, EventKind.NET_SEND, node="s", source="s", seqno=0))
+        sink.emit(TraceEvent(0.7, EventKind.NET_DELIVER, node="r1", source="s", seqno=0))
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        json.loads(lines[0])  # valid JSON per line
+        events = JsonlFileSink.read(path)
+        assert [e.kind for e in events] == ["net.send", "net.deliver"]
+        assert events[1].node == "r1"
+
+    def test_filter_sink_by_kind_prefix_and_node(self):
+        ring = RingBufferSink()
+        sink = FilterSink(ring, kinds=("net.",), nodes=("r1",))
+        sink.emit(TraceEvent(0.0, EventKind.NET_DELIVER, node="r1"))
+        sink.emit(TraceEvent(0.0, EventKind.NET_DELIVER, node="r2"))  # wrong node
+        sink.emit(TraceEvent(0.0, EventKind.TIMER_FIRE, node="r1"))  # wrong kind
+        assert len(ring) == 1
+        assert ring.events[0].kind == "net.deliver"
+
+
+class TestTracer:
+    def test_fans_out_and_aggregates(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = Tracer(a, b)
+        tracer.emit(1.0, EventKind.LOSS_DETECTED, node="r1", source="s", seqno=2)
+        tracer.emit(2.0, EventKind.REQUEST_SENT, node="r1", source="s", seqno=2)
+        tracer.emit(2.5, EventKind.REPLY_SENT, node="r2", source="s", seqno=2)
+        assert tracer.emitted == 3
+        assert len(a) == len(b) == 3
+        assert tracer.events_by_kind["request.sent"] == 1
+        assert tracer.events_by_node == {"r1": 2, "r2": 1}
+
+    def test_observe_builds_histograms(self):
+        tracer = Tracer()
+        for value in (0.002, 0.002, 4.0):
+            tracer.observe("lat", value)
+        summary = tracer.summary()
+        assert summary["events_emitted"] == 0
+        hist = summary["histograms"]["lat"]
+        assert hist["total"] == 3
+        assert hist["max"] == 4.0
+
+    def test_summary_is_json_serializable(self):
+        tracer = Tracer()
+        tracer.emit(0.0, EventKind.TIMER_FIRE, node="r1")
+        tracer.observe("x", 1.0)
+        json.dumps(tracer.summary())
+
+
+class TestHistogram:
+    def test_counts_and_moments(self):
+        hist = Histogram()
+        for value in (0.0005, 0.003, 100.0):
+            hist.add(value)
+        data = hist.to_dict()
+        assert data["total"] == 3
+        assert data["min"] == 0.0005
+        assert data["max"] == 100.0
+        assert sum(data["counts"]) == 3
+        assert data["counts"][-1] == 1  # overflow bucket caught 100.0
+        assert hist.mean == pytest.approx((0.0005 + 0.003 + 100.0) / 3)
+
+    def test_empty_histogram(self):
+        data = Histogram().to_dict()
+        assert data["total"] == 0
+        assert data["min"] == 0.0  # inf would not survive JSON
+
+
+class TestSimProfiler:
+    def test_attributes_events_to_handlers(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        sim.profiler = profiler
+        out = []
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(2.0, out.append, "b")
+        sim.run()
+        assert out == ["a", "b"]
+        assert profiler.events == 2
+        summary = profiler.summary()
+        assert summary["events"] == 2
+        (label, entry), = summary["handlers"].items()
+        assert "append" in label
+        assert entry["events"] == 2
+        assert entry["wall_s"] >= 0.0
+
+    def test_times_even_when_callback_raises(self):
+        profiler = SimProfiler()
+
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            profiler.record_call(boom, ())
+        assert profiler.events == 1
+
+    def test_describe_lists_hottest(self):
+        profiler = SimProfiler()
+        profiler.record_call(lambda: None, ())
+        text = profiler.describe()
+        assert "profile:" in text
+        assert "<lambda>" in text

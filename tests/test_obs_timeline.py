@@ -1,0 +1,164 @@
+"""Hand-checked recovery timelines reconstructed from trace streams.
+
+Each scenario drops one known packet in a small controlled world, records
+the run with a tracer, folds the stream into :class:`RecoveryTimeline`,
+and asserts the exact causal chain the loser's story tells — detection,
+the cache decision, the recovery path taken, and the completing repair —
+against what the protocol must do in that topology.
+"""
+
+from tests.helpers import make_world, two_subtrees
+
+from repro.core.cache import RecoveryTuple
+from repro.obs import (
+    EventKind,
+    JsonlFileSink,
+    RecoveryTimeline,
+    RingBufferSink,
+    Tracer,
+)
+
+
+def traced_drop_world(protocol: str):
+    """A two-subtree world that loses packet 1 on the x1->r1 hop only.
+
+    r1 is the sole loser; r2 (its sibling) and the whole other subtree
+    have the packet.  Packet 2 reveals the gap, so detection is exact and
+    deterministic.  Returns ``(world, ring)`` after the run completes.
+    """
+    world = make_world(tree=two_subtrees(), protocol=protocol)
+    world.run_warmup()
+    if protocol != "srm":
+        # Pre-seed r1's cache (§3.1) so the expedited path triggers:
+        # r1 itself is the expeditious requestor, sibling r2 the replier.
+        world.agent("r1").cache.observe(
+            RecoveryTuple(
+                seqno=0,
+                requestor="r1",
+                requestor_to_source=world.network.control_delay("r1", "s"),
+                replier="r2",
+                replier_to_requestor=world.network.control_delay("r2", "r1"),
+            )
+        )
+    ring = RingBufferSink()
+    world.sim.tracer = Tracer(ring)
+    world.send_packets(3, drop={1: {("x1", "r1")}})
+    world.run()
+    return world, ring
+
+
+class TestExpeditedStory:
+    def test_expedited_causal_chain(self):
+        world, ring = traced_drop_world("cesrm")
+        timeline = RecoveryTimeline.from_events(ring.events)
+        stories = timeline.for_host("r1")
+        assert len(stories) == 1
+        story = stories[0]
+        assert (story.source, story.seqno) == ("s", 1)
+        assert story.outcome == "expedited"
+        assert story.expedited
+
+        # The loser's own steps, in causal order: the gap is detected,
+        # the cache proposes <r1, r2>, the expedited request is scheduled
+        # (REORDER-DELAY=0) and unicast to r2, and r2's expedited reply
+        # completes the recovery — no SRM request round ever fires.
+        own = [e.kind for e in story.own_steps()]
+        assert own == [
+            EventKind.LOSS_DETECTED,
+            EventKind.CACHE_HIT,
+            EventKind.ERQST_SCHEDULED,
+            EventKind.ERQST_SENT,
+            EventKind.RECOVERY_COMPLETED,
+        ]
+        assert story.requests_sent == 0
+
+        hit = next(e for e in story.own_steps() if e.kind == EventKind.CACHE_HIT)
+        assert hit.detail == {"requestor": "r1", "replier": "r2"}
+
+        # Group context: r2 (and only r2) answered with an expedited reply.
+        erepls = [e for e in story.steps if e.kind == EventKind.EREPL_SENT]
+        assert [e.node for e in erepls] == ["r2"]
+
+        done = story.own_steps()[-1]
+        assert done.kind == EventKind.RECOVERY_COMPLETED
+        assert done.detail["expedited"] is True
+        assert story.recovery_time is not None
+
+        # The unicast request crosses r1->x1->r2 and the reply multicasts
+        # back, so recovery takes at least two propagation delays but well
+        # under an SRM request round (C1 * d_qs backoff + RTT).
+        assert story.recovery_time >= 2 * world.network.propagation_delay
+
+    def test_non_losers_have_no_story(self):
+        _, ring = traced_drop_world("cesrm")
+        timeline = RecoveryTimeline.from_events(ring.events)
+        assert timeline.outcome_counts() == {"expedited": 1}
+        for host in ("r2", "r3", "r4", "s"):
+            assert timeline.for_host(host) == []
+
+
+class TestSrmFallbackStory:
+    def test_srm_causal_chain(self):
+        world, ring = traced_drop_world("srm")
+        timeline = RecoveryTimeline.from_events(ring.events)
+        stories = timeline.for_packet("s", 1)
+        assert len(stories) == 1
+        story = stories[0]
+        assert story.host == "r1"
+        assert story.outcome == "srm"
+        assert not story.expedited
+
+        # SRM's chain: detection arms the request timer, one multicast
+        # request round fires, and a multicast repair completes recovery.
+        # No cache/erqst events exist in a pure-SRM world.
+        own = [e.kind for e in story.own_steps()]
+        assert own == [
+            EventKind.LOSS_DETECTED,
+            EventKind.REQUEST_SENT,
+            EventKind.RECOVERY_COMPLETED,
+        ]
+        assert story.requests_sent == 1
+
+        done = story.own_steps()[-1]
+        assert done.kind == EventKind.RECOVERY_COMPLETED
+        assert done.detail["expedited"] is False
+
+        # Context: somebody who had the packet scheduled and sent the
+        # repair in response to r1's request.
+        replies = [e for e in story.steps if e.kind == EventKind.REPLY_SENT]
+        assert replies, "a repair reply must appear in the story"
+        assert all(e.node != "r1" for e in replies)
+        for event in replies:
+            assert event.detail["requestor"] == "r1"
+
+        # Request round 1 fired after SRM's backoff window opened.
+        request = next(
+            e for e in story.own_steps() if e.kind == EventKind.REQUEST_SENT
+        )
+        assert request.detail["round"] == 1
+        assert request.time > story.detected_at
+
+    def test_describe_renders_chain(self):
+        _, ring = traced_drop_world("srm")
+        timeline = RecoveryTimeline.from_events(ring.events)
+        text = timeline.describe()
+        assert "loss s:1 at r1 — srm" in text
+        assert "loss.detected" in text
+        assert "1 loss stories (srm=1)" in text
+
+
+class TestTimelineFromJsonl:
+    def test_reconstruction_from_jsonl_matches_in_memory(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        world = make_world(tree=two_subtrees(), protocol="cesrm")
+        world.run_warmup()
+        sink = JsonlFileSink(path)
+        ring = RingBufferSink()
+        world.sim.tracer = Tracer(ring, sink)
+        world.send_packets(3, drop={1: {("x1", "r1")}})
+        world.run()
+        sink.close()
+
+        from_file = RecoveryTimeline.from_events(JsonlFileSink.read(path))
+        in_memory = RecoveryTimeline.from_events(ring.events)
+        assert from_file.describe() == in_memory.describe()

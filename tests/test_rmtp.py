@@ -2,14 +2,11 @@
 
 import random
 
-import pytest
-
 from repro.harness.config import SimulationConfig
 from repro.harness.runner import run_trace
 from repro.metrics.collector import MetricsCollector
 from repro.net.network import Network
 from repro.net.packet import PacketKind
-from repro.net.topology import MulticastTree
 from repro.rmtp.agent import RmtpAgent
 from repro.rmtp.fabric import RmtpFabric
 from repro.sim.engine import Simulator
