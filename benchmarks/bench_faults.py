@@ -1,0 +1,143 @@
+"""Recovery under replier crashes: CESRM's expedited path vs SRM fallback.
+
+CESRM's advantage rests on cached requestor/replier pairs staying alive.
+This benchmark crashes the ``k`` most active expeditious repliers at
+staggered mid-run times for rising ``k`` and compares, per protocol:
+
+* mean normalized recovery latency over the surviving receivers,
+* the fraction of recoveries completed through the expedited path
+  (CESRM only — SRM has no expedited machinery), and
+* cache evictions triggered by expedited attempts aimed at dead hosts.
+
+As ``k`` grows, CESRM's expedited fraction collapses and its latency
+converges toward SRM's suppression-timer baseline — the expedited →
+fallback crossover.  Reliability must hold throughout: every loss at a
+live receiver recovers.  Results go to ``BENCH_faults.json`` at the repo
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.faults import FaultPlan, NodeCrash
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.metrics.stats import mean
+from repro.net.packet import PacketKind
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_faults.json"
+
+#: Crash counts swept; 0 is the fault-free baseline.
+CRASH_COUNTS = (0, 1, 2, 3)
+#: Stagger between consecutive crashes, after the first at CRASH_AT.
+CRASH_AT = 10.0
+CRASH_STAGGER = 4.0
+
+
+def crashy_workload():
+    params = SynthesisParams(
+        name="bench-faults",
+        n_receivers=8,
+        tree_depth=3,
+        period=0.04,
+        n_packets=800,
+        target_losses=320,
+    )
+    return synthesize_trace(params, seed=2)
+
+
+def rank_repliers(synthetic) -> list[str]:
+    """Receivers ordered by expedited replies sent on a clean CESRM run."""
+    clean = run_trace(synthetic, "cesrm", SimulationConfig(seed=1))
+    return sorted(
+        clean.receivers,
+        key=lambda h: clean.metrics.sends_by_host_kind(h, PacketKind.EREPL),
+        reverse=True,
+    )
+
+
+def crash_plan(victims: list[str]) -> FaultPlan:
+    return FaultPlan(
+        events=tuple(
+            NodeCrash(host=victim, at=CRASH_AT + i * CRASH_STAGGER)
+            for i, victim in enumerate(victims)
+        )
+    )
+
+
+def survivor_stats(result, victims: list[str]) -> dict:
+    live = [r for r in result.receivers if r not in victims]
+    latencies: list[float] = []
+    expedited = fallback = 0
+    for receiver in live:
+        latencies.extend(result.normalized_latencies(receiver))
+        expedited += result.metrics.recovery_count(receiver, expedited=True)
+        fallback += result.metrics.recovery_count(receiver, expedited=False)
+    total = expedited + fallback
+    return {
+        "mean_normalized_latency": round(mean(latencies), 4),
+        "recoveries": total,
+        "expedited_fraction": round(expedited / total, 4) if total else 0.0,
+        "unrecovered_at_live_receivers": sum(
+            len(seqnos)
+            for host, seqnos in result.unrecovered.items()
+            if host not in victims
+        ),
+    }
+
+
+def test_replier_crash_crossover():
+    synthetic = crashy_workload()
+    repliers = rank_repliers(synthetic)
+    config = SimulationConfig(seed=1)
+
+    sweep = []
+    for k in CRASH_COUNTS:
+        victims = repliers[:k]
+        plan = crash_plan(victims)
+        row: dict = {"crashed_repliers": k, "victims": victims}
+        for protocol in ("srm", "cesrm"):
+            result = run_trace(synthetic, protocol, config, faults=plan)
+            stats = survivor_stats(result, victims)
+            if result.faults is not None:
+                stats["cache_evictions"] = result.faults.get("cache_evictions", 0)
+                assert result.faults["crashes"] == k
+            row[protocol] = stats
+            # reliability: no live receiver is left short
+            assert stats["unrecovered_at_live_receivers"] == 0, (protocol, k)
+        row["cesrm_advantage"] = round(
+            row["srm"]["mean_normalized_latency"]
+            - row["cesrm"]["mean_normalized_latency"],
+            4,
+        )
+        sweep.append(row)
+
+    payload = {
+        "suite": "fault-injection",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": {
+            "trace": "bench-faults",
+            "n_receivers": 8,
+            "n_packets": 800,
+            "crash_at": CRASH_AT,
+            "crash_stagger": CRASH_STAGGER,
+        },
+        "sweep": sweep,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    baseline, worst = sweep[0], sweep[-1]
+    # fault-free: the expedited path carries real traffic and beats SRM
+    assert baseline["cesrm"]["expedited_fraction"] > 0.1
+    assert baseline["cesrm_advantage"] > 0
+    # crashing the top repliers starves the expedited path: its share of
+    # recoveries falls and CESRM's edge over SRM shrinks — the crossover.
+    assert (
+        worst["cesrm"]["expedited_fraction"]
+        < baseline["cesrm"]["expedited_fraction"]
+    )
+    assert worst["cesrm_advantage"] < baseline["cesrm_advantage"]

@@ -12,16 +12,19 @@ expedited recovery.
 Run:  python examples/multi_source.py
 """
 
-from repro import PacketKind, SimulationConfig
-from repro.core.agent import CesrmAgent
-from repro.core.policies import make_policy
-from repro.metrics.collector import MetricsCollector
-from repro.net.network import Network
-from repro.net.topology import build_random_tree
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
-from repro.srm.constants import SrmParams
-from repro.traces.gilbert import GilbertModel
+from repro.api import (
+    CesrmAgent,
+    GilbertModel,
+    MetricsCollector,
+    Network,
+    PacketKind,
+    RngRegistry,
+    SimulationConfig,
+    Simulator,
+    SrmParams,
+    build_random_tree,
+    make_policy,
+)
 
 N_PACKETS = 600
 PERIOD = 0.1

@@ -14,17 +14,17 @@ CESRM leaves the expeditious-pair selection policy open.  This example:
 Run:  python examples/policy_playground.py
 """
 
-from repro import (
+from repro.api import (
     RecoveryPairCache,
     RecoveryTuple,
     SelectionPolicy,
     SimulationConfig,
+    mean,
     register_policy,
     run_trace,
     synthesize_trace,
     trace_meta,
 )
-from repro.metrics.stats import mean
 
 TRACES = ("RFV960419", "WRN951128", "WRN951216")
 MAX_PACKETS = 3000

@@ -9,9 +9,14 @@ and recovery traffic.
 Run:  python examples/quickstart.py
 """
 
-from repro import PacketKind, SimulationConfig, run_trace
-from repro.metrics.stats import mean
-from repro.traces.synthesize import SynthesisParams, synthesize_trace
+from repro.api import (
+    PacketKind,
+    SimulationConfig,
+    SynthesisParams,
+    mean,
+    run_trace,
+    synthesize_trace,
+)
 
 
 def main() -> None:

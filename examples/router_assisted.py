@@ -11,8 +11,7 @@ uninvolved receivers see each repair.
 Run:  python examples/router_assisted.py
 """
 
-from repro import SimulationConfig, run_trace, synthesize_trace, trace_meta
-from repro.metrics.stats import mean
+from repro.api import SimulationConfig, mean, run_trace, synthesize_trace, trace_meta
 
 TRACES = ("RFV960419", "WRN951113", "WRN951211")
 MAX_PACKETS = 3000

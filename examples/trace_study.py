@@ -17,17 +17,17 @@ This walks the complete trace-driven pipeline exactly as §4.1–4.3 describe:
 Run:  python examples/trace_study.py
 """
 
-from repro import (
+from repro.api import (
     Attributor,
     SimulationConfig,
+    SyntheticTrace,
     estimate_link_rates_mle,
     estimate_link_rates_subtree,
+    mean,
     run_trace,
     synthesize_trace,
     trace_meta,
 )
-from repro.metrics.stats import mean
-from repro.traces.model import SyntheticTrace
 
 MAX_PACKETS = 4000
 

@@ -11,12 +11,16 @@ then prints a per-packet recovery timeline for the worst-hit receiver.
 Run:  python examples/verified_session.py
 """
 
-from repro import InvariantMonitor, SimulationConfig
-from repro.harness.report import render_recovery_timeline
-from repro.harness.runner import build_simulation
-from repro.harness.runner import RunResult
-from repro.metrics.overhead import overhead_breakdown
-from repro.traces.synthesize import SynthesisParams, synthesize_trace
+from repro.api import (
+    InvariantMonitor,
+    RunResult,
+    SimulationConfig,
+    SynthesisParams,
+    build_simulation,
+    overhead_breakdown,
+    render_recovery_timeline,
+    synthesize_trace,
+)
 
 MAX_PACKETS = 1500
 

@@ -57,7 +57,15 @@ from repro.core import (
 from repro.lms import LmsAgent, LmsFabric
 from repro.rmtp import RmtpAgent, RmtpFabric
 from repro.spec import InvariantMonitor, InvariantViolation, ALL_INVARIANTS
-from repro.harness import SimulationConfig, RunResult, run_trace, PROTOCOLS
+from repro.harness import (
+    SimulationConfig,
+    RunResult,
+    run_trace,
+    build_simulation,
+    ProtocolSpec,
+    available_protocols,
+)
+from repro.faults import FaultPlan, FaultInjector, sample_plan
 from repro.metrics import MetricsCollector, OverheadBreakdown
 from repro.exec import (
     ExecutionEngine,
@@ -118,7 +126,13 @@ __all__ = [
     "SimulationConfig",
     "RunResult",
     "run_trace",
-    "PROTOCOLS",
+    "build_simulation",
+    "ProtocolSpec",
+    "available_protocols",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "sample_plan",
     # execution engine
     "ExecutionEngine",
     "RunCache",
@@ -130,3 +144,13 @@ __all__ = [
     "OverheadBreakdown",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # Deprecated shim: repro.PROTOCOLS forwards to the config shim, which
+    # warns and resolves the live registry.
+    if name == "PROTOCOLS":
+        from repro.harness import config
+
+        return config.PROTOCOLS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,193 @@
+"""The stable public facade of the reproduction.
+
+Downstream code — the ``examples/``, notebooks, external experiments —
+should import from here and nowhere else:
+
+.. code-block:: python
+
+    from repro.api import run_trace, SimulationConfig, FaultPlan
+
+``repro.api`` re-exports, by explicit name, the full supported surface:
+
+* running: :func:`run_trace`, :func:`build_simulation`,
+  :class:`SimulationConfig`, :class:`RunResult`;
+* the protocol registry: :class:`ProtocolSpec`, :func:`register`,
+  :func:`available_protocols` (the list of runnable protocol names);
+* deterministic fault injection: :class:`FaultPlan` and its event types,
+  :func:`sample_plan`, :class:`FaultInjector`;
+* the trace substrate: :func:`synthesize_trace`, :func:`trace_meta`,
+  :class:`SynthesisParams`, the §4.2 estimators and :class:`Attributor`;
+* verification and observability hooks, CESRM's cache/policy extension
+  points, and the low-level building blocks the multi-source example
+  wires by hand (engine, network, metrics).
+
+Everything importable from the historical deep paths
+(``repro.harness.runner`` etc.) still works, but only the names listed
+in ``__all__`` here are covenanted API.
+"""
+
+from __future__ import annotations
+
+# -- engine + network building blocks ----------------------------------
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.net.network import Network
+from repro.net.packet import Cast, Packet, PacketKind
+from repro.net.topology import MulticastTree, build_balanced_tree, build_random_tree
+
+# -- trace substrate (§4.1–4.2) -----------------------------------------
+from repro.traces.analysis import analyze_trace
+from repro.traces.attribution import Attributor
+from repro.traces.gilbert import GilbertModel
+from repro.traces.inference import (
+    estimate_link_rates_mle,
+    estimate_link_rates_subtree,
+)
+from repro.traces.model import LossTrace, SyntheticTrace
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+from repro.traces.yajnik import FIGURE_TRACES, YAJNIK_TRACES, trace_meta
+
+# -- protocols + extension points ---------------------------------------
+from repro.core.agent import CesrmAgent
+from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.policies import (
+    MostFrequentLossPolicy,
+    MostRecentLossPolicy,
+    SelectionPolicy,
+    make_policy,
+    register_policy,
+)
+from repro.core.router_assist import RouterAssistedCesrmAgent
+from repro.lms.agent import LmsAgent
+from repro.lms.fabric import LmsFabric
+from repro.rmtp.agent import RmtpAgent
+from repro.rmtp.fabric import RmtpFabric
+from repro.srm.agent import SrmAgent
+from repro.srm.constants import SrmParams
+
+# -- harness: running simulations ---------------------------------------
+from repro.harness.config import SimulationConfig
+from repro.harness.registry import (
+    ProtocolSpec,
+    all_specs,
+    available_protocols,
+    get_spec,
+    register,
+    unregister,
+)
+from repro.harness.runner import RunResult, Simulation, build_simulation, run_trace
+from repro.harness.report import render_recovery_timeline
+
+# -- deterministic fault injection --------------------------------------
+from repro.faults import (
+    EVENT_TYPES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkDown,
+    LinkFlap,
+    NodeCrash,
+    PacketDuplicate,
+    PacketReorder,
+    Partition,
+    SessionSuppress,
+    sample_plan,
+)
+
+# -- verification, metrics, execution engine ----------------------------
+from repro.spec import ALL_INVARIANTS, InvariantMonitor, InvariantViolation
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.overhead import OverheadBreakdown, overhead_breakdown
+from repro.metrics.stats import mean
+from repro.exec import (
+    ExecutionEngine,
+    RunCache,
+    RunJob,
+    RunSummary,
+    source_fingerprint,
+)
+
+__all__ = [
+    # engine + network
+    "Simulator",
+    "Timer",
+    "PeriodicTimer",
+    "RngRegistry",
+    "Network",
+    "Packet",
+    "PacketKind",
+    "Cast",
+    "MulticastTree",
+    "build_balanced_tree",
+    "build_random_tree",
+    # traces
+    "LossTrace",
+    "SyntheticTrace",
+    "GilbertModel",
+    "SynthesisParams",
+    "synthesize_trace",
+    "trace_meta",
+    "YAJNIK_TRACES",
+    "FIGURE_TRACES",
+    "estimate_link_rates_subtree",
+    "estimate_link_rates_mle",
+    "Attributor",
+    "analyze_trace",
+    # protocols + extension points
+    "SrmAgent",
+    "SrmParams",
+    "CesrmAgent",
+    "RouterAssistedCesrmAgent",
+    "LmsAgent",
+    "LmsFabric",
+    "RmtpAgent",
+    "RmtpFabric",
+    "RecoveryTuple",
+    "RecoveryPairCache",
+    "SelectionPolicy",
+    "MostRecentLossPolicy",
+    "MostFrequentLossPolicy",
+    "make_policy",
+    "register_policy",
+    # harness
+    "SimulationConfig",
+    "RunResult",
+    "Simulation",
+    "run_trace",
+    "build_simulation",
+    "render_recovery_timeline",
+    # registry
+    "ProtocolSpec",
+    "register",
+    "unregister",
+    "get_spec",
+    "available_protocols",
+    "all_specs",
+    # faults
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "LinkDown",
+    "LinkFlap",
+    "Partition",
+    "NodeCrash",
+    "PacketDuplicate",
+    "PacketReorder",
+    "SessionSuppress",
+    "EVENT_TYPES",
+    "sample_plan",
+    # verification + metrics + execution
+    "InvariantMonitor",
+    "InvariantViolation",
+    "ALL_INVARIANTS",
+    "MetricsCollector",
+    "OverheadBreakdown",
+    "overhead_breakdown",
+    "mean",
+    "ExecutionEngine",
+    "RunCache",
+    "RunJob",
+    "RunSummary",
+    "source_fingerprint",
+]

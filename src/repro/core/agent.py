@@ -92,8 +92,19 @@ class CesrmAgent(SrmAgent):
         self.caches: dict[str, RecoveryPairCache] = {}
         #: (source, seq) -> (timer, chosen tuple) for pending expedited requests.
         self._expedited: dict[tuple[str, int], tuple[Timer, RecoveryTuple]] = {}
+        #: (source, seq) -> chosen tuple for expedited requests already on
+        #: the wire, kept until the packet is obtained so a failed attempt
+        #: can be attributed to its replier.
+        self._erqst_inflight: dict[tuple[str, int], RecoveryTuple] = {}
+        #: Fault injection (repro.faults): when armed, a loss that an
+        #: expedited request failed to recover (SRM repaired it instead)
+        #: evicts the chosen replier's tuples from the cache, forcing the
+        #: pair to be relearned.  Off by default — fault-free runs never
+        #: evict, preserving the paper's cache dynamics bit-for-bit.
+        self.evict_on_failure = False
         self.expedited_scheduled = 0
         self.expedited_cancelled = 0
+        self.repliers_evicted = 0
         # Expedited-replier diagnostics: why expedited requests to this
         # host did or did not produce an expedited reply.
         self.erqst_received = 0
@@ -182,6 +193,7 @@ class CesrmAgent(SrmAgent):
         )
         self.metrics.on_send(self.host_id, packet)
         self.net.unicast(choice.replier, packet)
+        self._erqst_inflight[(src, seq)] = choice
         if self.sim.tracer is not None:
             self.sim.tracer.emit(
                 self.sim.now,
@@ -279,6 +291,17 @@ class CesrmAgent(SrmAgent):
     def _on_reply_observed(self, packet: Packet) -> None:
         src = packet.source
         seq = packet.seqno
+        inflight = self._erqst_inflight.pop((src, seq), None)
+        if (
+            inflight is not None
+            and self.evict_on_failure
+            and packet.kind is not PacketKind.EREPL
+        ):
+            # We unicast an expedited request for this packet, yet plain
+            # SRM repaired it: the chosen replier failed us (crashed or
+            # partitioned).  Forget every pair naming it; later recoveries
+            # relearn a live pair (§3 fall-back, stressed under faults).
+            self._evict_failed_replier(src, seq, inflight.replier)
         if seq not in self.source_state(src).stream.ever_lost:
             return  # did not suffer this loss -> discard (§3.1)
         if packet.requestor is None or packet.replier is None:
@@ -303,6 +326,28 @@ class CesrmAgent(SrmAgent):
             replier=packet.replier,  # type: ignore[arg-type]
             replier_to_requestor=packet.replier_dist,
         )
+
+    def _evict_failed_replier(self, src: str, seq: int, replier: str) -> None:
+        evicted = self.cache_for(src).evict_replier(replier)
+        if not evicted:
+            return
+        self.repliers_evicted += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now,
+                EventKind.CACHE_EVICT,
+                node=self.host_id,
+                source=src,
+                seqno=seq,
+                replier=replier,
+                evicted=evicted,
+            )
+
+    def _on_data(self, packet: Packet) -> None:
+        super()._on_data(packet)
+        # Data outran the expedited exchange (reordering): the attempt is
+        # moot, not a replier failure — just forget it.
+        self._erqst_inflight.pop((packet.source, packet.seqno), None)
 
     # ------------------------------------------------------------------
     # Hook: packet obtained -> cancel any pending expedited request

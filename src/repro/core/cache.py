@@ -63,6 +63,7 @@ class RecoveryPairCache:
         self.inserts = 0
         self.improvements = 0
         self.rejects = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -100,6 +101,17 @@ class RecoveryPairCache:
         self._entries[seqno] = candidate
         self.inserts += 1
         return True
+
+    def evict_replier(self, host: str) -> int:
+        """Drop every cached tuple whose replier is ``host`` (observed
+        failing to serve an expedited request).  Returns how many entries
+        were evicted; the pair must then be relearned from live replies.
+        """
+        stale = [seqno for seqno, entry in self._entries.items() if entry.replier == host]
+        for seqno in stale:
+            del self._entries[seqno]
+        self.evictions += len(stale)
+        return len(stale)
 
     def most_recent(self) -> RecoveryTuple | None:
         """The tuple of the most recent recovered loss, if any."""

@@ -24,7 +24,9 @@ from repro.exec.summary import (
     config_from_dict,
     config_to_dict,
 )
-from repro.harness.config import PROTOCOLS, SimulationConfig
+from repro.faults import FaultPlan
+from repro.harness.config import SimulationConfig
+from repro.harness.registry import available_protocols
 
 
 @dataclass(frozen=True)
@@ -39,24 +41,32 @@ class RunJob:
     #: identity, not just a truncation).
     trace_seed: int = 0
     trace_max_packets: int | None = None
+    #: Deterministic fault schedule executed during the run.  Part of the
+    #: run's identity: it folds into :meth:`key`/:meth:`digest`, but only
+    #: when non-empty, so fault-free digests match pre-fault builds.
+    faults: FaultPlan = FaultPlan()
 
     def __post_init__(self) -> None:
-        if self.protocol not in PROTOCOLS:
+        if self.protocol not in available_protocols():
             raise ValueError(
-                f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}"
+                f"unknown protocol {self.protocol!r}; "
+                f"known: {available_protocols()}"
             )
 
     # ------------------------------------------------------------------
     # Serialization (the spec must cross process boundaries)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "trace": self.trace,
             "protocol": self.protocol,
             "config": config_to_dict(self.config),
             "trace_seed": self.trace_seed,
             "trace_max_packets": self.trace_max_packets,
         }
+        if not self.faults.empty:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunJob":
@@ -66,6 +76,7 @@ class RunJob:
             config=config_from_dict(data["config"]),
             trace_seed=data["trace_seed"],
             trace_max_packets=data["trace_max_packets"],
+            faults=FaultPlan.from_dict(data.get("faults", {"events": []})),
         )
 
     # ------------------------------------------------------------------
@@ -107,7 +118,9 @@ def execute_job(job: RunJob) -> RunSummary:
         seed=job.trace_seed,
         max_packets=job.trace_max_packets,
     )
-    return RunSummary.from_result(run_trace(synthetic, job.protocol, job.config))
+    return RunSummary.from_result(
+        run_trace(synthetic, job.protocol, job.config, faults=job.faults)
+    )
 
 
 @lru_cache(maxsize=8)

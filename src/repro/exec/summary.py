@@ -79,6 +79,11 @@ class RunSummary:
     #: traced run; None (and omitted from the JSON form) otherwise, so
     #: untraced summaries are byte-identical to pre-obs builds.
     obs: dict[str, Any] | None = None
+    #: Fault-injection counters of a run that executed a non-empty
+    #: :class:`~repro.faults.FaultPlan`; None (and omitted from the JSON
+    #: form) otherwise, so fault-free summaries stay byte-identical to
+    #: pre-fault builds.
+    faults: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # RunResult <-> RunSummary
@@ -127,6 +132,7 @@ class RunSummary:
             events_processed=result.events_processed,
             wall_time=result.wall_time,
             obs=result.obs,
+            faults=result.faults,
         )
 
     def to_result(self) -> RunResult:
@@ -171,6 +177,7 @@ class RunSummary:
             events_processed=self.events_processed,
             wall_time=self.wall_time,
             obs=self.obs,
+            faults=self.faults,
         )
 
     # ------------------------------------------------------------------
@@ -180,6 +187,8 @@ class RunSummary:
         data = asdict(self)
         if data["obs"] is None:
             del data["obs"]  # keep untraced summaries byte-stable
+        if data["faults"] is None:
+            del data["faults"]  # likewise for fault-free summaries
         return data
 
     @classmethod

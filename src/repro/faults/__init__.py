@@ -1,0 +1,50 @@
+"""Deterministic fault injection (link outages, crashes, packet chaos).
+
+Public surface: :class:`FaultPlan` (declarative, JSON-round-trippable fault
+schedules) and :class:`FaultInjector` (compiles a plan onto one wired run).
+See ``docs/faults.md``.
+"""
+
+from repro.faults.inject import (
+    DROP,
+    FaultInjector,
+    HopEffect,
+    HopRule,
+    recovery_loss_rule,
+    trace_drop_rule,
+)
+from repro.faults.plan import (
+    EVENT_TYPES,
+    FaultEvent,
+    FaultPlan,
+    LinkDown,
+    LinkFlap,
+    NodeCrash,
+    PacketDuplicate,
+    PacketReorder,
+    Partition,
+    SessionSuppress,
+    event_from_dict,
+    sample_plan,
+)
+
+__all__ = [
+    "DROP",
+    "EVENT_TYPES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HopEffect",
+    "HopRule",
+    "LinkDown",
+    "LinkFlap",
+    "NodeCrash",
+    "PacketDuplicate",
+    "PacketReorder",
+    "Partition",
+    "SessionSuppress",
+    "event_from_dict",
+    "recovery_loss_rule",
+    "sample_plan",
+    "trace_drop_rule",
+]

@@ -1,0 +1,360 @@
+"""Declarative, seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` is a typed list of fault events — link outages
+(scheduled windows or seeded flapping), node crashes and restarts, tree
+partitions, packet duplication, bounded reordering, and session-report
+suppression — that the :class:`~repro.faults.inject.FaultInjector`
+compiles onto a run's timer wheel and network layer.
+
+Determinism contract
+--------------------
+A plan carries **no randomness of its own**: stochastic events (flapping,
+duplication, reordering) name only rates/bounds, and every sample is
+drawn from the run's :class:`~repro.sim.rng.RngRegistry` under a
+``fault:``-prefixed stream name.  The same plan + the same run seed
+therefore yields a byte-identical :class:`~repro.exec.summary.RunSummary`,
+and a plan folds losslessly into the :class:`~repro.exec.jobs.RunJob`
+digest (fault runs are cacheable).  An **empty** plan compiles to nothing
+at all, so fault-free runs stay bit-identical to a build without the
+fault layer.
+
+Wire format
+-----------
+``FaultPlan.to_dict()`` is plain JSON data (``{"events": [{"type": ...,
+...}, ...]}``); ``from_dict``/``load`` invert it.  See ``docs/faults.md``
+for the schema and CLI usage (``cesrm run --faults plan.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, ClassVar, Iterator
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one typed entry of a :class:`FaultPlan`."""
+
+    #: Wire-format discriminator; each concrete event defines its own.
+    type_name: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        data = {"type": self.type_name}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if isinstance(value, tuple):
+                value = list(value)
+            data[f.name] = value
+        return data
+
+
+@dataclass(frozen=True)
+class LinkDown(FaultEvent):
+    """Take the (bidirectional) tree link ``u — v`` down at ``at``; bring
+    it back ``duration`` seconds later (None = stays down forever)."""
+
+    u: str
+    v: str
+    at: float
+    duration: float | None = None
+
+    type_name: ClassVar[str] = "link-down"
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, "link-down: at must be non-negative")
+        _require(
+            self.duration is None or self.duration > 0,
+            "link-down: duration must be positive when set",
+        )
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """A flapping link: starting at ``start``, alternate sampled up/down
+    windows (exponential with means ``mean_up`` / ``mean_down``) until
+    ``end`` (None = end of run).  Samples come from the run registry's
+    ``fault:flap:<u>-<v>`` stream, so the outage schedule is a pure
+    function of the plan and the run seed."""
+
+    u: str
+    v: str
+    mean_up: float
+    mean_down: float
+    start: float = 0.0
+    end: float | None = None
+
+    type_name: ClassVar[str] = "link-flap"
+
+    def __post_init__(self) -> None:
+        _require(self.mean_up > 0, "link-flap: mean_up must be positive")
+        _require(self.mean_down > 0, "link-flap: mean_down must be positive")
+        _require(self.start >= 0, "link-flap: start must be non-negative")
+        _require(
+            self.end is None or self.end > self.start,
+            "link-flap: end must be after start",
+        )
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Partition the subtree rooted at ``node`` from the rest of the tree
+    (cut its uplink) at ``at``; heal after ``duration`` seconds."""
+
+    node: str
+    at: float
+    duration: float | None = None
+
+    type_name: ClassVar[str] = "partition"
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, "partition: at must be non-negative")
+        _require(
+            self.duration is None or self.duration > 0,
+            "partition: duration must be positive when set",
+        )
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Crash the agent at ``host`` at ``at``: it stops sending, replying,
+    and recovering, and silently drops everything delivered to it.  With
+    ``restart_after`` set, the host comes back that many seconds later
+    (keeping its pre-crash reception state, like a process restart from a
+    warm buffer)."""
+
+    host: str
+    at: float
+    restart_after: float | None = None
+
+    type_name: ClassVar[str] = "node-crash"
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, "node-crash: at must be non-negative")
+        _require(
+            self.restart_after is None or self.restart_after > 0,
+            "node-crash: restart_after must be positive when set",
+        )
+
+
+@dataclass(frozen=True)
+class PacketDuplicate(FaultEvent):
+    """Duplicate packets on every directed hop with probability ``rate``
+    inside ``[start, end)`` (end None = end of run).  ``kind`` restricts
+    the rule to one :class:`~repro.net.packet.PacketKind` value (e.g.
+    ``"data"``); None applies to every kind."""
+
+    rate: float
+    kind: str | None = None
+    start: float = 0.0
+    end: float | None = None
+
+    type_name: ClassVar[str] = "packet-duplicate"
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.rate <= 1.0, "packet-duplicate: rate must be in (0, 1]")
+        _require(self.start >= 0, "packet-duplicate: start must be non-negative")
+        _require(
+            self.end is None or self.end > self.start,
+            "packet-duplicate: end must be after start",
+        )
+
+
+@dataclass(frozen=True)
+class PacketReorder(FaultEvent):
+    """Delay packets on every directed hop with probability ``rate`` by an
+    extra uniform ``(0, max_delay]`` seconds inside ``[start, end)`` —
+    bounded reordering (a delayed packet can fall behind at most
+    ``max_delay`` worth of later traffic)."""
+
+    rate: float
+    max_delay: float
+    kind: str | None = None
+    start: float = 0.0
+    end: float | None = None
+
+    type_name: ClassVar[str] = "packet-reorder"
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.rate <= 1.0, "packet-reorder: rate must be in (0, 1]")
+        _require(self.max_delay > 0, "packet-reorder: max_delay must be positive")
+        _require(self.start >= 0, "packet-reorder: start must be non-negative")
+        _require(
+            self.end is None or self.end > self.start,
+            "packet-reorder: end must be after start",
+        )
+
+
+@dataclass(frozen=True)
+class SessionSuppress(FaultEvent):
+    """Mute ``host``'s session reports from ``at`` for ``duration``
+    seconds: the host keeps receiving and recovering, but its periodic
+    session messages are swallowed — peers lose its sequence reports and
+    distance echoes (the paper's secondary loss-detection channel)."""
+
+    host: str
+    at: float
+    duration: float
+
+    type_name: ClassVar[str] = "session-suppress"
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, "session-suppress: at must be non-negative")
+        _require(self.duration > 0, "session-suppress: duration must be positive")
+
+
+#: Wire-format dispatch: type discriminator -> event class.
+EVENT_TYPES: dict[str, type[FaultEvent]] = {
+    cls.type_name: cls
+    for cls in (
+        LinkDown,
+        LinkFlap,
+        Partition,
+        NodeCrash,
+        PacketDuplicate,
+        PacketReorder,
+        SessionSuppress,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> FaultEvent:
+    """Decode one event from its wire form (``{"type": ..., ...}``)."""
+    payload = dict(data)
+    type_name = payload.pop("type", None)
+    cls = EVENT_TYPES.get(type_name)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault event type {type_name!r}; "
+            f"known: {sorted(EVENT_TYPES)}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown fields {sorted(unknown)} for fault event {type_name!r}"
+        )
+    return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of fault events.
+
+    The empty plan is the identity: it compiles to nothing and leaves the
+    run byte-identical to one without a fault layer, and it serializes to
+    nothing inside a :class:`~repro.exec.jobs.RunJob` (so fault-free job
+    digests are unchanged).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a fault event: {event!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def of_type(self, cls: type[FaultEvent]) -> list[FaultEvent]:
+        return [e for e in self.events if isinstance(e, cls)]
+
+    @property
+    def crashes_hosts(self) -> bool:
+        """True when the plan contains any node-crash event (agents then
+        arm replier-failure cache eviction)."""
+        return any(isinstance(e, NodeCrash) for e in self.events)
+
+    def describe(self) -> str:
+        """One human-readable line per event (the ``cesrm faults`` view)."""
+        if self.empty:
+            return "fault plan: empty (no faults injected)"
+        lines = [f"fault plan: {len(self.events)} event(s)"]
+        for event in self.events:
+            detail = ", ".join(
+                f"{f.name}={getattr(event, f.name)!r}"
+                for f in fields(event)
+                if getattr(event, f.name) is not None
+            )
+            lines.append(f"  {event.type_name:>18s}  {detail}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        unknown = set(data) - {"events"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields {sorted(unknown)}")
+        return cls(
+            events=tuple(event_from_dict(row) for row in data.get("events", ()))
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+def sample_plan() -> FaultPlan:
+    """A small didactic plan (the ``cesrm faults --sample`` output): one
+    uplink partition, one receiver crash with restart, a mild duplication
+    storm, and one muted host.  Host names follow the synthesized-tree
+    convention (``s``, routers ``x1..``, receivers ``r1..``), so the plan
+    runs against any Yajnik trace."""
+    return FaultPlan(
+        events=(
+            Partition(node="r1", at=6.0, duration=2.0),
+            NodeCrash(host="r2", at=8.0, restart_after=10.0),
+            PacketDuplicate(rate=0.01, start=4.0, end=12.0),
+            SessionSuppress(host="r3", at=5.0, duration=3.0),
+        )
+    )
+
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LinkDown",
+    "LinkFlap",
+    "Partition",
+    "NodeCrash",
+    "PacketDuplicate",
+    "PacketReorder",
+    "SessionSuppress",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "sample_plan",
+]

@@ -2,8 +2,10 @@
 
 * :mod:`repro.harness.config` — one immutable config for a run (§4.3's
   simulation setup is the default).
+* :mod:`repro.harness.registry` — the pluggable protocol-session registry
+  (:class:`ProtocolSpec`); every protocol the harness runs ships through it.
 * :mod:`repro.harness.runner` — builds a simulation (tree, network,
-  agents, trace-driven loss injection) and runs it to completion.
+  agents, fault injection) and runs it to completion.
 * :mod:`repro.harness.experiments` — drivers that regenerate every table
   and figure of §4, plus the ablations DESIGN.md lists.
 * :mod:`repro.harness.analysis` — the §3.4 closed-form latency model.
@@ -11,13 +13,38 @@
 * :mod:`repro.harness.cli` — the ``cesrm`` command-line entry point.
 """
 
-from repro.harness.config import SimulationConfig, PROTOCOLS
+from typing import Any
+
+from repro.harness.config import SimulationConfig
+from repro.harness.registry import (
+    ProtocolSpec,
+    all_specs,
+    available_protocols,
+    get_spec,
+    register,
+    unregister,
+)
 from repro.harness.runner import RunResult, run_trace, build_simulation
 
 __all__ = [
     "SimulationConfig",
-    "PROTOCOLS",
+    "ProtocolSpec",
+    "all_specs",
+    "available_protocols",
+    "get_spec",
+    "register",
+    "unregister",
     "RunResult",
     "run_trace",
     "build_simulation",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    # Deprecated shim: forwards to repro.harness.config, which warns and
+    # resolves the live registry.
+    if name == "PROTOCOLS":
+        from repro.harness import config
+
+        return config.PROTOCOLS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

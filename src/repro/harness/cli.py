@@ -11,9 +11,22 @@ single protocol/trace pair:
     $ cesrm run --trace WRN951113 --protocol cesrm
     $ cesrm trace --trace WRN951113 --outcome expedited --limit 5
     $ cesrm trace --trace-out events.jsonl --profile
+    $ cesrm run --trace WRN951113 --faults plan.json
+    $ cesrm faults --sample --out plan.json
+    $ cesrm faults --faults plan.json --protocol cesrm
+    $ cesrm protocols
     $ cesrm all --jobs 8
     $ cesrm cache
     $ cesrm cache --clear
+
+Fault injection (:mod:`repro.faults`): ``--faults plan.json`` runs any
+command's simulations under a declarative fault plan — link outages,
+node crashes, partitions, duplication, reordering, session suppression —
+drawn from dedicated seeded streams, so the same plan and seed reproduce
+byte-identical results.  ``cesrm faults`` describes a plan and reports
+the injected faults next to the recovery outcome; ``cesrm protocols``
+lists every protocol in the pluggable registry
+(:mod:`repro.harness.registry`).
 
 The ``trace`` command (and ``run`` with ``--trace-out``/``--profile``)
 attaches the :mod:`repro.obs` instrumentation: it records the run's full
@@ -40,7 +53,7 @@ from repro.exec.cache import RunCache, default_cache_dir
 from repro.exec.jobs import source_fingerprint
 from repro.harness import experiments as exp
 from repro.harness import report
-from repro.harness.config import PROTOCOLS
+from repro.harness.registry import all_specs, available_protocols
 from repro.metrics.stats import mean
 from repro.traces.yajnik import YAJNIK_TRACES
 
@@ -59,6 +72,8 @@ COMMANDS = (
     "run",
     "timeline",
     "trace",
+    "faults",
+    "protocols",
     "cache",
     "all",
 )
@@ -91,8 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--protocol",
         default="cesrm",
-        choices=PROTOCOLS,
+        choices=available_protocols(),
         help="protocol for the `run` command",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="with `run`/`trace`/`timeline`/`faults`: execute this "
+        "FaultPlan JSON file during the run",
+    )
+    parser.add_argument(
+        "--sample",
+        action="store_true",
+        help="with the `faults` command: use the built-in sample plan "
+        "(or write it with --out)",
     )
     parser.add_argument(
         "--out",
@@ -188,6 +216,17 @@ def _cache(args: argparse.Namespace) -> RunCache | None:
     return RunCache(args.cache_dir or default_cache_dir())
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The FaultPlan named on the command line (empty plan when absent)."""
+    from repro.faults import FaultPlan, sample_plan
+
+    if getattr(args, "sample", False):
+        return sample_plan()
+    if getattr(args, "faults", None):
+        return FaultPlan.load(args.faults)
+    return FaultPlan()
+
+
 def _context(args: argparse.Namespace) -> exp.ExperimentContext:
     if args.full:
         max_packets: int | None | str = None
@@ -204,6 +243,7 @@ def _context(args: argparse.Namespace) -> exp.ExperimentContext:
         jobs=args.jobs,
         cache=_cache(args),
         progress=progress,
+        faults=_fault_plan(args),
     )
     if getattr(args, "verify", False):
         ctx.config = ctx.config.with_(verify_period=0.05)
@@ -277,6 +317,10 @@ def main(argv: list[str] | None = None) -> int:
         out.append(_timeline(args, ctx))
     if args.command == "trace":
         out.append(_trace_command(args, ctx))
+    if args.command == "faults":
+        out.append(_faults_command(args, ctx))
+    if args.command == "protocols":
+        out.append(_protocols_command())
 
     print("\n\n".join(out))
     cache = ctx.engine.cache
@@ -386,7 +430,7 @@ def _traced_run(args: argparse.Namespace, ctx: exp.ExperimentContext):
     profiler = SimProfiler() if args.profile else None
     result = _run_trace(
         ctx.trace(args.trace), args.protocol, ctx.config,
-        tracer=tracer, profiler=profiler,
+        tracer=tracer, profiler=profiler, faults=ctx.faults,
     )
     return result, ring, profiler
 
@@ -431,6 +475,57 @@ def _trace_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
     if profiler is not None:
         lines.append("")
         lines.append(profiler.describe())
+    return "\n".join(lines)
+
+
+def _faults_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
+    """Describe a fault plan and run it (``--out`` just writes the plan).
+
+    ``cesrm faults --sample --out plan.json`` writes the built-in sample
+    plan; ``cesrm faults --faults plan.json`` (or ``--sample``) runs the
+    configured trace/protocol under the plan and reports the injected
+    faults next to the recovery outcome.
+    """
+    plan = ctx.faults
+    if plan.empty:
+        return (
+            "no fault plan given — pass --faults plan.json or --sample\n"
+            "(--sample --out plan.json writes the sample plan to disk)"
+        )
+    if args.out:
+        plan.save(args.out)
+        return f"wrote {args.out}:\n{plan.describe()}"
+    result = ctx.run(args.trace, args.protocol)
+    stats = result.faults or {}
+    lines = [
+        plan.describe(),
+        "",
+        f"{args.protocol} on {args.trace} under the plan:",
+        f"  recovered {result.recovered_losses}, "
+        f"unrecovered {result.unrecovered_losses} "
+        f"(of {result.total_losses} trace losses)",
+        "  injected: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())),
+    ]
+    if args.protocol not in ("srm", "srm-adaptive"):
+        lines.append(
+            f"  expedited: requests={result.metrics.expedited_requests_sent}, "
+            f"success={100 * result.metrics.expedited_success_rate:.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def _protocols_command() -> str:
+    """List every protocol the registry knows."""
+    lines = ["registered protocols:"]
+    for spec in all_specs():
+        extras = []
+        if spec.fabric_factory is not None:
+            extras.append("fabric")
+        if spec.tags:
+            extras.extend(spec.tags)
+        suffix = f"  [{', '.join(extras)}]" if extras else ""
+        lines.append(f"  {spec.name:>12s}  {spec.description}{suffix}")
     return "\n".join(lines)
 
 

@@ -28,6 +28,7 @@ from repro.exec.cache import RunCache
 from repro.exec.jobs import RunJob
 from repro.exec.pool import ExecutionEngine
 from repro.exec.summary import RunSummary
+from repro.faults import FaultPlan
 from repro.harness.analysis import (
     EXPEDITED_GAP_BAND_RTT,
     SRM_FIRST_ROUND_BAND_RTT,
@@ -72,11 +73,13 @@ class ExperimentContext:
         jobs: int = 1,
         cache: RunCache | None = None,
         progress=None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if max_packets == "default":
             max_packets = default_max_packets()
         self.max_packets = max_packets  # type: ignore[assignment]
         self.seed = seed
+        self.faults = faults if faults is not None else FaultPlan()
         self.config = (config or SimulationConfig()).with_(
             seed=seed, max_packets=self.max_packets
         )
@@ -103,6 +106,7 @@ class ExperimentContext:
             config=config or self.config,
             trace_seed=self.seed,
             trace_max_packets=self.max_packets,
+            faults=self.faults,
         )
 
     def _execute_local(self, job: RunJob) -> RunSummary:
@@ -119,7 +123,7 @@ class ExperimentContext:
                 max_packets=job.trace_max_packets,
             )
         return RunSummary.from_result(
-            run_trace(synthetic, job.protocol, job.config)
+            run_trace(synthetic, job.protocol, job.config, faults=job.faults)
         )
 
     def prefetch(self, specs: Iterable[RunSpec]) -> None:

@@ -4,35 +4,34 @@
 multicasts packet ``i`` at ``t0 + i·period``; the network drops packet
 ``i`` on exactly the links of the trace's link representation, reproducing
 the measured per-receiver loss pattern; agents at the source and receivers
-run SRM, CESRM, or router-assisted CESRM; recovery traffic is lossless by
-default (optionally Bernoulli-dropped at the per-link rates for the lossy
-ablation).  Session exchange is lossless and starts before the data so
-distances converge first.
+run whichever protocol the :mod:`repro.harness.registry` names; recovery
+traffic is lossless by default (optionally Bernoulli-dropped at the
+per-link rates for the lossy ablation).  Session exchange is lossless and
+starts before the data so distances converge first.
+
+Both kinds of loss injection — the trace replay and the lossy-recovery
+ablation — are hop rules of a single :class:`~repro.faults.FaultInjector`,
+the same primitive that executes declarative :class:`~repro.faults.FaultPlan`
+schedules (link outages, crashes, duplication...) passed via ``faults=``.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.core.agent import CesrmAgent
-from repro.core.policies import make_policy
-from repro.core.router_assist import RouterAssistedCesrmAgent
-from repro.harness.config import PROTOCOLS, SimulationConfig
-from repro.lms.agent import LmsAgent
-from repro.lms.fabric import LmsFabric
-from repro.rmtp.agent import RmtpAgent
-from repro.rmtp.fabric import RmtpFabric
+from repro.faults import FaultInjector, FaultPlan, recovery_loss_rule, trace_drop_rule
+from repro.harness.config import SimulationConfig
+from repro.harness.registry import get_spec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.overhead import OverheadBreakdown, overhead_breakdown
 from repro.metrics.stats import mean
 from repro.net.network import Network
-from repro.net.packet import Packet, PacketKind
-from repro.net.topology import LinkId
+from repro.net.packet import PacketKind
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.spec.monitor import InvariantMonitor
-from repro.srm.adaptive import AdaptiveSrmAgent
 from repro.srm.agent import SrmAgent
 from repro.traces.model import SyntheticTrace
 
@@ -59,6 +58,10 @@ class RunResult:
     #: Observability summary (tracer counters / profiler hot-spots) when the
     #: run was traced or profiled; None on an untraced run.
     obs: dict | None = None
+    #: Fault-injection counters when the run carried a non-empty
+    #: :class:`~repro.faults.FaultPlan`; None on a fault-free run (keeping
+    #: fault-free summaries byte-identical to builds without fault support).
+    faults: dict | None = None
 
     # ------------------------------------------------------------------
     # Figure-level derived quantities
@@ -131,18 +134,9 @@ class Simulation:
     config: SimulationConfig
     metrics: MetricsCollector
     end_time: float
-    fabric: LmsFabric | RmtpFabric | None = None
+    fabric: Any | None = None
     monitor: InvariantMonitor | None = None
-
-
-_AGENT_CLASSES: dict[str, type[SrmAgent]] = {
-    "srm": SrmAgent,
-    "srm-adaptive": AdaptiveSrmAgent,
-    "cesrm": CesrmAgent,
-    "cesrm-router": RouterAssistedCesrmAgent,
-    "lms": LmsAgent,
-    "rmtp": RmtpAgent,
-}
+    faults: FaultInjector | None = None
 
 
 def build_simulation(
@@ -151,15 +145,23 @@ def build_simulation(
     config: SimulationConfig,
     tracer=None,
     profiler=None,
+    faults: FaultPlan | None = None,
 ) -> Simulation:
     """Wire up engine, network, loss injection, and agents for one run.
+
+    ``protocol`` is resolved through the :mod:`repro.harness.registry`;
+    anything registered there runs without touching this function.
 
     ``tracer`` / ``profiler`` are optional :mod:`repro.obs` hooks; they are
     deliberately not part of :class:`SimulationConfig` so that enabling them
     cannot perturb the run's configuration digest (and hence the run cache).
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`; it *is* part
+    of a run's identity and folds into :class:`~repro.exec.jobs.RunJob`
+    digests instead (an empty/None plan leaves the run byte-identical to a
+    plan-less build).
     """
-    if protocol not in PROTOCOLS:
-        raise ValueError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
+    spec = get_spec(protocol)
+    plan = faults if faults is not None else FaultPlan()
     if config.max_packets is not None:
         synthetic = synthetic.truncated(config.max_packets)
     trace = synthetic.trace
@@ -176,14 +178,17 @@ def build_simulation(
         propagation_delay=config.propagation_delay,
         bandwidth_bps=config.bandwidth_bps,
     )
-    network.drop_fn = _make_drop_fn(synthetic, config, registry)
+    # Loss injection (§4.3): the trace replay and the lossy-recovery
+    # ablation are hop rules of the same injector that executes the plan.
+    injector = FaultInjector(plan, sim, network, registry)
+    injector.add_hop_rule(trace_drop_rule(synthetic.link_combos))
+    if config.lossy_recovery:
+        injector.add_hop_rule(
+            recovery_loss_rule(synthetic.link_rates, registry.stream("recovery-loss"))
+        )
+    network.faults = injector
 
-    agent_cls = _AGENT_CLASSES[protocol]
-    fabric: LmsFabric | RmtpFabric | None = None
-    if protocol == "lms":
-        fabric = LmsFabric(tree)
-    elif protocol == "rmtp":
-        fabric = RmtpFabric(tree)
+    fabric = spec.build_fabric(tree)
     agents: dict[str, SrmAgent] = {}
     for host in tree.hosts:
         kwargs: dict = dict(
@@ -197,15 +202,10 @@ def build_simulation(
             session_period=config.session_period,
             detect_on_request=config.detect_on_request,
         )
-        if issubclass(agent_cls, CesrmAgent):
-            kwargs.update(
-                policy=make_policy(config.policy),
-                cache_capacity=config.cache_capacity,
-                reorder_delay=config.reorder_delay,
-            )
+        kwargs.update(spec.extra_agent_kwargs(config))
         if fabric is not None:
             kwargs.update(fabric=fabric)
-        agents[host] = agent_cls(**kwargs)
+        agents[host] = spec.agent_cls(**kwargs)
 
     # Stagger session starts across one period so they never synchronize.
     hosts = tree.hosts
@@ -225,6 +225,9 @@ def build_simulation(
         monitor.start()
 
     end_time = t0 + trace.n_packets * trace.period + config.drain_time
+    injector.install(
+        agents, end_time=end_time, on_host_crash=spec.crash_callback(fabric)
+    )
     return Simulation(
         sim=sim,
         network=network,
@@ -236,6 +239,7 @@ def build_simulation(
         end_time=end_time,
         fabric=fabric,
         monitor=monitor,
+        faults=injector,
     )
 
 
@@ -245,11 +249,14 @@ def run_trace(
     config: SimulationConfig | None = None,
     tracer=None,
     profiler=None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run one protocol over one trace and collect the paper's metrics."""
     config = config or SimulationConfig()
     wall_start = _time.perf_counter()
-    simulation = build_simulation(synthetic, protocol, config, tracer=tracer, profiler=profiler)
+    simulation = build_simulation(
+        synthetic, protocol, config, tracer=tracer, profiler=profiler, faults=faults
+    )
     sim = simulation.sim
     sim.run(until=simulation.end_time)
     if simulation.monitor is not None:
@@ -297,6 +304,11 @@ def run_trace(
         events_processed=sim.events_processed,
         wall_time=_time.perf_counter() - wall_start,
         obs=obs,
+        faults=(
+            simulation.faults.stats()
+            if simulation.faults is not None and not simulation.faults.plan.empty
+            else None
+        ),
     )
 
 
@@ -309,27 +321,3 @@ def _finalize_unrecovered(simulation: Simulation) -> dict[str, int]:
     return out
 
 
-def _make_drop_fn(
-    synthetic: SyntheticTrace,
-    config: SimulationConfig,
-    registry: RngRegistry,
-):
-    """Loss injection: data packets drop on exactly the trace's links;
-    recovery packets optionally drop at the per-link rates; session
-    messages are never dropped (§4.3)."""
-    combos = synthetic.link_combos
-    empty: frozenset[LinkId] = frozenset()
-    lossy = config.lossy_recovery
-    rates = synthetic.link_rates
-    recovery_rng = registry.stream("recovery-loss")
-
-    def drop(u: str, v: str, packet: Packet) -> bool:
-        kind = packet.kind
-        if kind is PacketKind.DATA:
-            return (u, v) in combos.get(packet.seqno, empty)
-        if kind is PacketKind.SESSION or not lossy:
-            return False
-        rate = rates.get((u, v)) or rates.get((v, u)) or 0.0
-        return rate > 0.0 and recovery_rng.random() < rate
-
-    return drop

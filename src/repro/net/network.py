@@ -115,6 +115,10 @@ class Network:
         self.propagation_delay = propagation_delay
         self.bandwidth_bps = bandwidth_bps
         self.drop_fn: DropFn | None = None
+        #: Optional :class:`~repro.faults.inject.FaultInjector`: consulted on
+        #: every directed hop for blocked links and drop/duplicate/delay
+        #: rules.  None (or an injector with no rules) costs one branch.
+        self.faults = None
         self.crossings = CrossingCounter()
         self.packets_dropped = 0
         self.packets_delivered = 0
@@ -244,18 +248,18 @@ class Network:
         self.crossings.record(packet)
         tracer = self.sim.tracer
         if self.drop_fn is not None and self.drop_fn(u, v, packet):
-            self.packets_dropped += 1
-            if tracer is not None:
-                tracer.emit(
-                    self.sim.now,
-                    EventKind.NET_DROP,
-                    node=v,
-                    source=packet.source,
-                    seqno=packet.seqno,
-                    pkt=packet.kind.value,
-                    link=f"{u}->{v}",
-                )
+            self._record_drop(u, v, packet, tracer)
             return
+        duplicate = False
+        extra_delay = 0.0
+        if self.faults is not None:
+            effect = self.faults.on_hop(u, v, packet)
+            if effect is not None:
+                if effect.drop:
+                    self._record_drop(u, v, packet, tracer)
+                    return
+                duplicate = effect.duplicate
+                extra_delay = effect.extra_delay
         link = self._links[(u, v)]
         now = self.sim.now
         if tracer is not None:
@@ -282,7 +286,26 @@ class Network:
                 )
                 tracer.observe("net.queueing_delay", wait)
         arrival_time = link.enqueue(now, packet.size_bytes)
-        self.sim.schedule_at(arrival_time, on_arrival, v, u, packet)
+        self.sim.schedule_at(arrival_time + extra_delay, on_arrival, v, u, packet)
+        if duplicate:
+            # The copy serializes behind the original on the same link and
+            # continues with the same forwarding behaviour downstream.
+            self.crossings.record(packet)
+            dup_arrival = link.enqueue(now, packet.size_bytes)
+            self.sim.schedule_at(dup_arrival + extra_delay, on_arrival, v, u, packet)
+
+    def _record_drop(self, u: str, v: str, packet: Packet, tracer) -> None:
+        self.packets_dropped += 1
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                EventKind.NET_DROP,
+                node=v,
+                source=packet.source,
+                seqno=packet.seqno,
+                pkt=packet.kind.value,
+                link=f"{u}->{v}",
+            )
 
     def _maybe_deliver(self, node: str, packet: Packet, expected: bool = False) -> None:
         agent = self._agents.get(node)

@@ -49,12 +49,25 @@ class EventKind:
     CACHE_HIT = "cache.hit"      # selection policy proposed a pair
     CACHE_MISS = "cache.miss"    # no usable tuple for the loss's source
     CACHE_UPDATE = "cache.update"
+    CACHE_EVICT = "cache.evict"  # pairs forgotten after a failed expedited try
     ERQST_SCHEDULED = "erqst.scheduled"
     ERQST_SENT = "erqst.sent"
     ERQST_CANCELLED = "erqst.cancelled"
     ERQST_SHARED_LOSS = "erqst.shared-loss"  # replier missed the packet too
     ERQST_SUPPRESSED = "erqst.suppressed"    # replier's SRM reply already pending
     EREPL_SENT = "erepl.sent"
+
+    # -- fault injection (repro.faults) --------------------------------
+    FAULT_LINK_DOWN = "fault.link-down"
+    FAULT_LINK_UP = "fault.link-up"
+    FAULT_PARTITION = "fault.partition"      # subtree uplink cut
+    FAULT_HEAL = "fault.heal"
+    FAULT_CRASH = "fault.crash"
+    FAULT_RESTART = "fault.restart"
+    FAULT_SESSION_MUTE = "fault.session-mute"
+    FAULT_SESSION_UNMUTE = "fault.session-unmute"
+    FAULT_DUPLICATE = "fault.duplicate"      # hop rule copied the packet
+    FAULT_REORDER = "fault.reorder"          # hop rule added arrival delay
 
     # -- runtime verification ------------------------------------------
     INVARIANT_VIOLATION = "invariant.violation"

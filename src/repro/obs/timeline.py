@@ -40,6 +40,7 @@ _OWN_KINDS = frozenset(
         EventKind.REQUEST_BACKOFF,
         EventKind.CACHE_HIT,
         EventKind.CACHE_MISS,
+        EventKind.CACHE_EVICT,
         EventKind.ERQST_SCHEDULED,
         EventKind.ERQST_SENT,
         EventKind.ERQST_CANCELLED,
@@ -60,6 +61,8 @@ _CONTEXT_KINDS = frozenset(
         EventKind.ERQST_SUPPRESSED,
         EventKind.EREPL_SENT,
         EventKind.NET_DROP,
+        EventKind.FAULT_DUPLICATE,
+        EventKind.FAULT_REORDER,
     }
 )
 
@@ -131,20 +134,32 @@ class LossStory:
 
 
 class RecoveryTimeline:
-    """Per-loss causal stories reconstructed from a trace-event stream."""
+    """Per-loss causal stories reconstructed from a trace-event stream.
 
-    def __init__(self, stories: list[LossStory]) -> None:
+    ``faults`` holds the run-level fault markers of a fault-injected run
+    (crashes, restarts, outages, partitions, session muting), time-ordered,
+    so a recovery anomaly can be read against the fault that caused it.
+    """
+
+    def __init__(
+        self, stories: list[LossStory], faults: list[TraceEvent] | None = None
+    ) -> None:
         self.stories = stories
+        self.faults = faults or []
 
     @classmethod
     def from_events(
         cls, events: Iterable[TraceEvent | Mapping]
     ) -> "RecoveryTimeline":
         """Fold ``events`` (events or JSONL dicts) into loss stories."""
-        # Bucket every packet-scoped event by data-packet identity.
+        # Bucket every packet-scoped event by data-packet identity; keep
+        # run-level fault markers (crash/outage/mute — no packet) aside.
         by_packet: dict[tuple[str, int], list[TraceEvent]] = defaultdict(list)
+        faults: list[TraceEvent] = []
         for event in iter_events(iter(events)):
             packet = event.packet_id
+            if event.kind.startswith("fault.") and packet is None:
+                faults.append(event)
             if packet is not None and (
                 event.kind in _OWN_KINDS or event.kind in _CONTEXT_KINDS
             ):
@@ -185,7 +200,8 @@ class RecoveryTimeline:
                         story.outcome = "late-data"
                 stories.append(story)
         stories.sort(key=lambda s: (s.detected_at, s.host))
-        return cls(stories)
+        faults.sort(key=lambda e: e.time)
+        return cls(stories, faults=faults)
 
     # ------------------------------------------------------------------
     # Queries
@@ -200,6 +216,11 @@ class RecoveryTimeline:
 
     def with_outcome(self, outcome: str) -> list[LossStory]:
         return [s for s in self.stories if s.outcome == outcome]
+
+    def faults_during(self, start: float, end: float) -> list[TraceEvent]:
+        """Fault markers inside ``[start, end]`` — the ones plausibly
+        implicated in a recovery spanning that window."""
+        return [e for e in self.faults if start <= e.time <= end]
 
     def outcome_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -218,6 +239,10 @@ class RecoveryTimeline:
         )
         if hidden > 0:
             parts.append(f"... {hidden} more stories not shown")
+        if self.faults:
+            fault_lines = [f"{len(self.faults)} fault marker(s):"]
+            fault_lines.extend(f"  {e.describe()}" for e in self.faults)
+            parts.append("\n".join(fault_lines))
         parts.append(f"{len(self.stories)} loss stories ({footer or 'none'})")
         return "\n\n".join(parts)
 

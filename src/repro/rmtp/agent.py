@@ -90,6 +90,12 @@ class RmtpAgent(SrmAgent):
         self._status_timer.stop()
         super().fail()
 
+    def restart(self) -> None:
+        was_failed = self.failed
+        super().restart()
+        if was_failed and self.host_id != self.primary_source:
+            self._status_timer.start()
+
     # ------------------------------------------------------------------
     # Loss detection without request scheduling
     # ------------------------------------------------------------------

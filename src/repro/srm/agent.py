@@ -105,6 +105,10 @@ class SrmAgent:
 
         self.is_source = host_id == source
         self.failed = False
+        #: Fault injection (repro.faults): while True, periodic session
+        #: reports are swallowed before they reach the wire.
+        self.session_muted = False
+        self.sessions_suppressed = 0
         self.distances = DistanceEstimator(host_id)
         self._sources: dict[str, SourceState] = {}
         self._session_timer = PeriodicTimer(sim, session_period, self._send_session)
@@ -158,6 +162,17 @@ class SrmAgent:
         """
         self.failed = True
         self.stop()
+
+    def restart(self) -> None:
+        """Recover from :meth:`fail`: the host rejoins the group with its
+        pre-crash reception state (a warm process restart) and resumes
+        session exchange.  Pending recoveries were abandoned by the crash;
+        later traffic or session reports re-detect anything still missing.
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self._session_timer.start()
 
     def stop(self) -> None:
         """Stop periodic activity (end of run)."""
@@ -519,6 +534,9 @@ class SrmAgent:
     # Session messages (§2, §4.3)
     # ------------------------------------------------------------------
     def _send_session(self) -> None:
+        if self.session_muted:
+            self.sessions_suppressed += 1
+            return
         now = self.sim.now
         max_seqs = {
             src: state.stream.max_seq

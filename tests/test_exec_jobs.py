@@ -3,9 +3,11 @@
 import pytest
 
 from repro.exec.jobs import RunJob, source_fingerprint
+from repro.faults import FaultPlan, NodeCrash, PacketDuplicate
 from repro.harness.config import SimulationConfig
 
 CFG = SimulationConfig(seed=0, max_packets=200)
+CRASH_PLAN = FaultPlan(events=(NodeCrash(host="r1", at=5.0),))
 
 
 def job(**overrides) -> RunJob:
@@ -46,6 +48,15 @@ class TestKey:
         with pytest.raises(ValueError, match="unknown protocol"):
             job(protocol="nope")
 
+    def test_differs_by_fault_plan(self):
+        assert job().key() != job(faults=CRASH_PLAN).key()
+        other = FaultPlan(events=(PacketDuplicate(rate=0.1),))
+        assert job(faults=CRASH_PLAN).key() != job(faults=other).key()
+
+    def test_empty_plan_matches_fault_free_key(self):
+        # an empty plan must not perturb the cache key of existing runs
+        assert job().key() == job(faults=FaultPlan()).key()
+
 
 class TestDigest:
     def test_folds_in_fingerprint(self):
@@ -62,6 +73,18 @@ class TestSerialization:
         restored = RunJob.from_dict(original.to_dict())
         assert restored == original
         assert restored.key() == original.key()
+
+    def test_fault_free_dict_omits_faults(self):
+        assert "faults" not in job().to_dict()
+        assert "faults" not in job(faults=FaultPlan()).to_dict()
+
+    def test_faulted_round_trip(self):
+        original = job(faults=CRASH_PLAN)
+        data = original.to_dict()
+        assert data["faults"] == CRASH_PLAN.to_dict()
+        restored = RunJob.from_dict(data)
+        assert restored == original
+        assert restored.faults == CRASH_PLAN
 
 
 class TestSourceFingerprint:

@@ -1,0 +1,139 @@
+"""Tests for the declarative fault-plan model (repro.faults.plan)."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    EVENT_TYPES,
+    FaultPlan,
+    LinkDown,
+    LinkFlap,
+    NodeCrash,
+    PacketDuplicate,
+    PacketReorder,
+    Partition,
+    SessionSuppress,
+    event_from_dict,
+    sample_plan,
+)
+
+
+class TestEventValidation:
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDown(u="a", v="b", at=-1.0)
+        with pytest.raises(ValueError):
+            NodeCrash(host="r1", at=-0.5)
+        with pytest.raises(ValueError):
+            Partition(node="r1", at=-2.0)
+
+    def test_nonpositive_durations_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDown(u="a", v="b", at=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            NodeCrash(host="r1", at=1.0, restart_after=0.0)
+        with pytest.raises(ValueError):
+            SessionSuppress(host="r1", at=1.0, duration=0.0)
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            PacketDuplicate(rate=0.0)
+        with pytest.raises(ValueError):
+            PacketDuplicate(rate=1.5)
+        with pytest.raises(ValueError):
+            PacketReorder(rate=2.0, max_delay=0.1)
+        with pytest.raises(ValueError):
+            PacketReorder(rate=0.5, max_delay=0.0)
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            PacketDuplicate(rate=0.1, start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            LinkFlap(u="a", v="b", mean_up=1.0, mean_down=1.0, start=3.0, end=2.0)
+
+    def test_flap_means_positive(self):
+        with pytest.raises(ValueError):
+            LinkFlap(u="a", v="b", mean_up=0.0, mean_down=1.0)
+
+
+class TestWireFormat:
+    def test_every_event_type_round_trips(self):
+        events = (
+            LinkDown(u="x1", v="r1", at=2.0, duration=1.5),
+            LinkFlap(u="x1", v="r1", mean_up=4.0, mean_down=0.5, start=1.0, end=9.0),
+            Partition(node="r2", at=3.0, duration=2.0),
+            NodeCrash(host="r1", at=5.0, restart_after=4.0),
+            PacketDuplicate(rate=0.05, kind="data", start=1.0, end=6.0),
+            PacketReorder(rate=0.02, max_delay=0.1),
+            SessionSuppress(host="r3", at=2.0, duration=3.0),
+        )
+        for event in events:
+            assert event_from_dict(event.to_dict()) == event
+
+    def test_none_fields_omitted_from_wire_form(self):
+        data = LinkDown(u="a", v="b", at=1.0).to_dict()
+        assert data == {"type": "link-down", "u": "a", "v": "b", "at": 1.0}
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event type"):
+            event_from_dict({"type": "meteor-strike", "at": 1.0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            event_from_dict({"type": "node-crash", "host": "r1", "at": 1.0, "x": 2})
+
+    def test_plan_json_round_trip(self):
+        plan = sample_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_plan_file_round_trip(self, tmp_path):
+        plan = sample_plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+        # the on-disk form is plain JSON with an "events" list
+        data = json.loads(path.read_text())
+        assert set(data) == {"events"}
+        assert all("type" in row for row in data["events"])
+
+    def test_plan_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"events": [], "version": 2})
+
+    def test_registry_covers_all_event_classes(self):
+        assert set(EVENT_TYPES) == {
+            "link-down",
+            "link-flap",
+            "partition",
+            "node-crash",
+            "packet-duplicate",
+            "packet-reorder",
+            "session-suppress",
+        }
+
+
+class TestPlanSemantics:
+    def test_empty_plan_is_identity(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert len(plan) == 0
+        assert list(plan) == []
+        assert not plan.crashes_hosts
+        assert "empty" in plan.describe()
+
+    def test_of_type_and_crashes_hosts(self):
+        plan = sample_plan()
+        assert not plan.empty
+        assert plan.crashes_hosts
+        assert len(plan.of_type(NodeCrash)) == 1
+        assert len(plan.of_type(LinkFlap)) == 0
+
+    def test_events_must_be_fault_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("link-down",))
+
+    def test_describe_names_every_event(self):
+        text = sample_plan().describe()
+        for event in sample_plan():
+            assert event.type_name in text

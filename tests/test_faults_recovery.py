@@ -1,0 +1,113 @@
+"""The tentpole scenario: a crashed expeditious replier must not break
+reliability.  CESRM's expedited unicast to the dead host goes unanswered,
+SRM's suppression machinery recovers the loss, and the requestor evicts
+the stale pair from its cache (relearning a live one from later replies).
+Verified through the RecoveryTimeline, per the observability layer."""
+
+from repro.faults import FaultPlan, NodeCrash
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.events import EventKind
+from repro.obs.timeline import RecoveryTimeline
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+
+def busy_synthetic(n_packets=600, target=250, seed=2):
+    params = SynthesisParams(
+        name="crashy",
+        n_receivers=6,
+        tree_depth=3,
+        period=0.04,
+        n_packets=n_packets,
+        target_losses=target,
+    )
+    return synthesize_trace(params, seed=seed)
+
+
+def crash_run(victim="r2", at=15.0, seed=1, protocol="cesrm"):
+    synthetic = busy_synthetic()
+    plan = FaultPlan(events=(NodeCrash(host=victim, at=at),))
+    ring = RingBufferSink()
+    result = run_trace(
+        synthetic,
+        protocol,
+        SimulationConfig(seed=seed),
+        tracer=Tracer(ring),
+        faults=plan,
+    )
+    return result, ring
+
+
+def pick_victim():
+    """The most active expeditious replier of a clean run."""
+    from repro.net.packet import PacketKind
+
+    clean = run_trace(busy_synthetic(), "cesrm", SimulationConfig(seed=1))
+    return max(
+        clean.receivers,
+        key=lambda h: clean.metrics.sends_by_host_kind(h, PacketKind.EREPL),
+    )
+
+
+class TestReplierCrashFallback:
+    def test_srm_fallback_recovers_everything(self):
+        victim = pick_victim()
+        result, ring = crash_run(victim=victim)
+        timeline = RecoveryTimeline.from_events(ring.events)
+        # the crash is a run-level fault marker on the timeline
+        assert [e.kind for e in timeline.faults] == [EventKind.FAULT_CRASH]
+        assert timeline.faults[0].node == victim
+        # SRM fall-back recoveries happened, and no live host is left short
+        assert len(timeline.with_outcome("srm")) > 0
+        assert result.unrecovered_losses == 0
+        assert result.faults["crashes"] == 1
+
+    def test_failed_expedited_attempt_evicts_the_pair(self):
+        victim = pick_victim()
+        _, ring = crash_run(victim=victim)
+        evictions = [e for e in ring.events if e.kind == EventKind.CACHE_EVICT]
+        assert evictions, "no cache eviction after the replier crashed"
+        assert all(e.detail["replier"] == victim for e in evictions)
+        # each evicting host's story for that packet ends recovered via SRM
+        timeline = RecoveryTimeline.from_events(ring.events)
+        for evt in evictions:
+            stories = [
+                s
+                for s in timeline.for_packet(evt.source, evt.seqno)
+                if s.host == evt.node
+            ]
+            assert stories and stories[0].outcome == "srm"
+
+    def test_eviction_never_fires_without_crash_plan(self):
+        synthetic = busy_synthetic()
+        ring = RingBufferSink()
+        run_trace(
+            synthetic, "cesrm", SimulationConfig(seed=1), tracer=Tracer(ring)
+        )
+        assert not [e for e in ring.events if e.kind == EventKind.CACHE_EVICT]
+
+    def test_crashed_host_is_silent(self):
+        victim = pick_victim()
+        result, ring = crash_run(victim=victim, at=15.0)
+        sends_after = [
+            e
+            for e in ring.events
+            if e.kind == EventKind.NET_SEND
+            and e.node == victim
+            and e.time > 15.0
+        ]
+        assert sends_after == []
+
+    def test_srm_is_unaffected_by_eviction_machinery(self):
+        victim = pick_victim()
+        result, ring = crash_run(victim=victim, protocol="srm")
+        assert result.unrecovered_losses == 0
+        assert not [e for e in ring.events if e.kind == EventKind.CACHE_EVICT]
+
+    def test_faults_during_window_query(self):
+        victim = pick_victim()
+        _, ring = crash_run(victim=victim, at=15.0)
+        timeline = RecoveryTimeline.from_events(ring.events)
+        assert timeline.faults_during(14.0, 16.0)
+        assert not timeline.faults_during(0.0, 10.0)

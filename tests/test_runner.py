@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness.config import PROTOCOLS, SimulationConfig
+from repro.harness.config import SimulationConfig
+from repro.harness.registry import available_protocols
 from repro.harness.runner import build_simulation, run_trace
 from repro.net.packet import PacketKind
 from repro.traces.synthesize import SynthesisParams, synthesize_trace
@@ -66,7 +67,7 @@ class TestBuildSimulation:
 
     def test_protocol_registry_covers_all(self):
         synthetic = small_synthetic(n_packets=50, target=20)
-        for protocol in PROTOCOLS:
+        for protocol in available_protocols():
             simulation = build_simulation(synthetic, protocol, SimulationConfig())
             assert simulation.source_agent.is_source
 
