@@ -1,0 +1,133 @@
+"""End-to-end forwarding-kernel benchmark (the ISSUE-4 speedup gate).
+
+Times the standard SRM+CESRM trace sweep — every Table 1 figure trace at
+1200 packets — straight through ``run_trace`` (no cache, no process pool),
+so the number is the hot path itself: topology queries, per-hop forwarding,
+and the event engine.
+
+The committed ``BENCH_kernel.json`` carries a ``baseline`` section that was
+recorded by running this file against the pre-refactor string/dict hot
+path.  Each run rewrites the file with the same baseline plus the current
+timings and the speedup; when a baseline is present the benchmark asserts
+the kernel is at least 2x faster end to end.
+
+Run via ``cesrm bench kernel`` or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py -q
+
+Record a fresh baseline (only for a deliberate re-baseline)::
+
+    PYTHONPATH=src REPRO_BENCH_REBASELINE=1 python -m pytest benchmarks/bench_kernel.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.traces.synthesize import synthesize_trace
+from repro.traces.yajnik import FIGURE_TRACES, trace_meta
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+PROTOCOLS = ("srm", "cesrm")
+MAX_PACKETS = 1200
+SEED = 0
+MIN_SPEEDUP = 2.0
+#: Repetitions per (trace, protocol); each run reports its fastest wall
+#: time so one scheduler hiccup cannot flip the gate.  The committed
+#: baseline was recorded with the identical min-of-N methodology.
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+def _sweep(reps: int = REPS) -> dict:
+    """Run the sweep ``reps`` times; keep each run's fastest wall time.
+
+    The garbage collector is paused around each timed run (and collected
+    between runs) so collection pauses land outside the timings.  Every
+    repetition must process the identical event count — the sweep doubles
+    as a determinism check.
+    """
+    config = SimulationConfig(seed=SEED, max_packets=MAX_PACKETS)
+    runs = {}
+    total = 0.0
+    gc_was_enabled = gc.isenabled()
+    try:
+        for name in FIGURE_TRACES:
+            synthetic = synthesize_trace(
+                trace_meta(name), seed=SEED, max_packets=MAX_PACKETS
+            )
+            for protocol in PROTOCOLS:
+                best = None
+                events = None
+                for _ in range(reps):
+                    gc.collect()
+                    gc.disable()
+                    start = time.perf_counter()
+                    result = run_trace(synthetic, protocol, config)
+                    elapsed = time.perf_counter() - start
+                    gc.enable()
+                    if events is None:
+                        events = result.events_processed
+                    elif events != result.events_processed:
+                        raise AssertionError(
+                            f"{name}/{protocol}: event count varied across "
+                            f"repetitions ({events} vs {result.events_processed})"
+                        )
+                    if best is None or elapsed < best:
+                        best = elapsed
+                runs[f"{name}/{protocol}"] = {
+                    "wall_time": round(best, 4),
+                    "events_processed": events,
+                }
+                total += best
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "max_packets": MAX_PACKETS,
+        "seed": SEED,
+        "reps": reps,
+        "runs": runs,
+        "total_wall_time": round(total, 4),
+    }
+
+
+def test_kernel_sweep_speedup():
+    previous = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    baseline = previous.get("baseline")
+
+    current = _sweep()
+    if baseline is None or os.environ.get("REPRO_BENCH_REBASELINE"):
+        baseline = current
+
+    speedup = baseline["total_wall_time"] / current["total_wall_time"]
+    payload = {
+        "benchmark": "kernel",
+        "traces": list(FIGURE_TRACES),
+        "protocols": list(PROTOCOLS),
+        "baseline": baseline,
+        "current": current,
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # Same total work regardless of implementation: the refactor must not
+    # change how many events the sweep processes.
+    for key, row in baseline["runs"].items():
+        assert (
+            current["runs"][key]["events_processed"] == row["events_processed"]
+        ), f"{key}: event count diverged from baseline"
+
+    if baseline is not current:  # a real pre-refactor baseline exists
+        assert speedup >= MIN_SPEEDUP, (
+            f"kernel sweep speedup {speedup:.2f}x is below the "
+            f"{MIN_SPEEDUP:.1f}x gate (baseline "
+            f"{baseline['total_wall_time']:.2f}s, current "
+            f"{current['total_wall_time']:.2f}s)"
+        )

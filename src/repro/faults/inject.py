@@ -79,6 +79,9 @@ def trace_drop_rule(link_combos: Mapping[int, frozenset[LinkId]]) -> HopRule:
             return DROP
         return None
 
+    # Declares the rule a pure function of DATA packets only: the network's
+    # hot path may skip consulting the injector for other kinds entirely.
+    rule.data_only = True
     return rule
 
 
@@ -166,6 +169,10 @@ class FaultInjector:
         self.network = network
         self.registry = registry
         self._hop_rules: list[HopRule] = []
+        #: True while every installed hop rule is tagged ``data_only`` (a
+        #: pure function of DATA packets): together with an empty ``_down``
+        #: this lets the network skip :meth:`on_hop` for control traffic.
+        self._rules_data_only = True
         #: directed link -> number of active outages covering it.
         self._down: dict[tuple[str, str], int] = {}
         self._agents: dict = {}
@@ -185,6 +192,8 @@ class FaultInjector:
     def add_hop_rule(self, rule: HopRule) -> None:
         """Append a hop rule (applied in installation order)."""
         self._hop_rules.append(rule)
+        if not getattr(rule, "data_only", False):
+            self._rules_data_only = False
 
     def on_hop(self, u: str, v: str, packet: Packet) -> HopEffect | None:
         """The network's per-crossing consultation point."""
@@ -192,8 +201,9 @@ class FaultInjector:
             self.packets_blocked += 1
             return DROP
         merged: HopEffect | None = None
+        now = self.sim._now
         for rule in self._hop_rules:
-            effect = rule(self.sim.now, u, v, packet)
+            effect = rule(now, u, v, packet)
             if effect is None:
                 continue
             if effect.drop:

@@ -18,6 +18,8 @@ single protocol/trace pair:
     $ cesrm all --jobs 8
     $ cesrm cache
     $ cesrm cache --clear
+    $ cesrm bench
+    $ cesrm bench kernel obs
 
 Fault injection (:mod:`repro.faults`): ``--faults plan.json`` runs any
 command's simulations under a declarative fault plan — link outages,
@@ -75,6 +77,7 @@ COMMANDS = (
     "faults",
     "protocols",
     "cache",
+    "bench",
     "all",
 )
 
@@ -85,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the CESRM (DSN 2004) evaluation.",
     )
     parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="BENCH",
+        help="with the `bench` command: suite names (benchmarks/bench_<name>.py) "
+        "or `all`; bare `cesrm bench` lists the available suites",
+    )
     parser.add_argument(
         "--max-packets",
         type=int,
@@ -255,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         print(_cache_command(args))
         return 0
+    if args.command == "bench":
+        return _bench_command(args)
     ctx = _context(args)
     out: list[str] = []
 
@@ -329,6 +341,96 @@ def main(argv: list[str] | None = None) -> int:
             f"[exec] cache: {cache.stats.describe()} — {cache.directory}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _benchmarks_dir():
+    """The repo's ``benchmarks/`` directory, located next to ``src/``
+    (falls back to the working directory for non-src layouts)."""
+    from pathlib import Path
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parent.parent.parent
+    bench_dir = root / "benchmarks"
+    if not bench_dir.is_dir():
+        bench_dir = Path.cwd() / "benchmarks"
+    return bench_dir
+
+
+def _bench_command(args: argparse.Namespace) -> int:
+    """Run benchmark suites uniformly: ``cesrm bench kernel obs``.
+
+    Every suite is a ``benchmarks/bench_<name>.py`` pytest file executed in
+    a fresh interpreter from the repo root, so each writes its
+    ``BENCH_*.json`` artefact exactly as a direct pytest invocation would —
+    one entry point for CI and for humans instead of ad-hoc per-script
+    command lines.  ``--max-packets``/``--full``/``--jobs`` are forwarded
+    through the ``REPRO_*`` environment knobs the suites honour.
+    """
+    import os
+    import subprocess
+    import time
+    from pathlib import Path
+
+    import repro
+
+    bench_dir = _benchmarks_dir()
+    if not bench_dir.is_dir():
+        print(f"no benchmarks directory found at {bench_dir}", file=sys.stderr)
+        return 2
+    available = sorted(p.stem[len("bench_") :] for p in bench_dir.glob("bench_*.py"))
+    if not args.names:
+        print("available benchmark suites (cesrm bench <name>... or `all`):")
+        for name in available:
+            print(f"  {name}")
+        return 0
+    names = available if args.names == ["all"] else args.names
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        print(
+            f"unknown benchmark suite(s): {', '.join(unknown)}\n"
+            f"available: {', '.join(available)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    root = bench_dir.parent
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    if args.max_packets is not None:
+        env["REPRO_MAX_PACKETS"] = str(args.max_packets)
+    if args.full:
+        env["REPRO_FULL_TRACES"] = "1"
+    if args.jobs > 1:
+        env["REPRO_JOBS"] = str(args.jobs)
+
+    failures = []
+    for name in names:
+        script = bench_dir / f"bench_{name}.py"
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(script.relative_to(root)), "-q"],
+            cwd=root,
+            env=env,
+        )
+        elapsed = time.perf_counter() - start
+        if proc.returncode == 0:
+            print(f"[bench] {name}: ok in {elapsed:.1f}s", file=sys.stderr)
+        else:
+            print(
+                f"[bench] {name}: FAILED (exit {proc.returncode}) in {elapsed:.1f}s",
+                file=sys.stderr,
+            )
+            failures.append(name)
+    artefacts = sorted(p.name for p in root.glob("BENCH_*.json"))
+    if artefacts:
+        print(f"[bench] artefacts at {root}: {', '.join(artefacts)}", file=sys.stderr)
+    if failures:
+        print(f"[bench] failed suites: {', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 

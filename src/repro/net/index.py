@@ -1,0 +1,248 @@
+"""Frozen integer-indexed view of a multicast tree — the forwarding kernel's
+topology side.
+
+A :class:`TopologyIndex` is built once per
+:class:`~repro.net.topology.MulticastTree` (lazily, via ``tree.index``) and
+never mutated afterwards.  It interns every node id to a dense integer in
+the tree's deterministic construction order and precomputes everything the
+hot path asks per hop or per query:
+
+* parent / children / neighbor arrays (children first, then the parent —
+  the flood fan-out order of the string implementation),
+* per-node depth and Euler-tour ``tin``/``tout`` intervals (O(1) strict
+  descendant tests),
+* a binary-lifting ancestor table (O(log depth) LCA, hence O(1)-ish paths
+  and hop distances without the old unbounded ``(a, b)``-keyed path cache),
+* a dense per-pair next-hop table (``next_hop[u * n + v]`` = first hop
+  from ``u`` toward ``v``),
+* subtree-receiver bitsets (one bit per receiver, in ``tree.receivers``
+  order), replacing per-query ``frozenset`` algebra in the attribution DP.
+
+Everything here is pure data: the index never imports the topology module
+(the tree hands its structures over at construction), so the two modules
+cannot cycle.
+"""
+
+from __future__ import annotations
+
+#: Sentinel parent/neighbor id for the root ("no such node").
+NO_NODE = -1
+
+
+class TopologyIndex:
+    """Integer-interned, fully precomputed topology of one multicast tree.
+
+    Parameters
+    ----------
+    names:
+        Every node id in the tree's deterministic DFS construction order;
+        position in this sequence *is* the node's integer id.
+    parent_of:
+        ``child -> parent`` mapping by name (the root is absent).
+    children_of:
+        ``node -> children`` mapping by name, children in tree order.
+    receivers:
+        Receiver node ids in display order; receiver ``i`` owns bit
+        ``1 << i`` of every bitset.
+    """
+
+    __slots__ = (
+        "n",
+        "names",
+        "ids",
+        "parent",
+        "depth",
+        "children",
+        "neighbors",
+        "tin",
+        "tout",
+        "post_order",
+        "next_hop",
+        "receiver_ids",
+        "receiver_bit",
+        "subtree_bits",
+        "_up",
+    )
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        parent_of: dict[str, str],
+        children_of: dict[str, list[str]],
+        receivers: tuple[str, ...],
+    ) -> None:
+        n = len(names)
+        self.n = n
+        self.names = tuple(names)
+        self.ids = {name: i for i, name in enumerate(self.names)}
+        ids = self.ids
+
+        self.parent = [
+            ids[parent_of[name]] if name in parent_of else NO_NODE for name in names
+        ]
+        self.children = tuple(
+            tuple(ids[child] for child in children_of[name]) for name in names
+        )
+        self.neighbors = tuple(
+            kids if self.parent[i] == NO_NODE else kids + (self.parent[i],)
+            for i, kids in enumerate(self.children)
+        )
+
+        # Depth + Euler intervals in one preorder walk from the root.
+        root = self.parent.index(NO_NODE)
+        depth = [0] * n
+        tin = [0] * n
+        tout = [0] * n
+        clock = 0
+        post: list[int] = []
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                tout[node] = clock
+                clock += 1
+                post.append(node)
+                continue
+            tin[node] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in reversed(self.children[node]):
+                depth[child] = depth[node] + 1
+                stack.append((child, False))
+        self.depth = depth
+        self.tin = tin
+        self.tout = tout
+        self.post_order = tuple(post)
+
+        # Binary lifting for LCA: _up[k][v] = 2^k-th ancestor (root-clamped).
+        levels = max(1, max(depth).bit_length())
+        up0 = [p if p != NO_NODE else root for p in self.parent]
+        up = [up0]
+        for _ in range(1, levels):
+            prev = up[-1]
+            up.append([prev[prev[v]] for v in range(n)])
+        self._up = up
+
+        # Dense next-hop table: one BFS per origin over the neighbor arrays.
+        next_hop = [NO_NODE] * (n * n)
+        for origin in range(n):
+            base = origin * n
+            frontier = [origin]
+            seen = bytearray(n)
+            seen[origin] = 1
+            while frontier:
+                nxt: list[int] = []
+                for node in frontier:
+                    hop = next_hop[base + node]  # NO_NODE only at the origin
+                    for nb in self.neighbors[node]:
+                        if seen[nb]:
+                            continue
+                        seen[nb] = 1
+                        next_hop[base + nb] = nb if hop == NO_NODE else hop
+                        nxt.append(nb)
+                frontier = nxt
+        self.next_hop = next_hop
+
+        # Receiver bitsets: receiver i (display order) owns bit 1 << i.
+        self.receiver_ids = tuple(ids[r] for r in receivers)
+        receiver_bit = [0] * n
+        for i, r in enumerate(self.receiver_ids):
+            receiver_bit[r] = 1 << i
+        self.receiver_bit = receiver_bit
+        subtree = list(receiver_bit)
+        for node in self.post_order:
+            acc = subtree[node]
+            for child in self.children[node]:
+                acc |= subtree[child]
+            subtree[node] = acc
+        self.subtree_bits = subtree
+
+    # ------------------------------------------------------------------
+    # Integer queries (the hot path)
+    # ------------------------------------------------------------------
+    def lca_int(self, a: int, b: int) -> int:
+        """Lowest common ancestor of two node ids."""
+        depth = self.depth
+        up = self._up
+        da, db = depth[a], depth[b]
+        if da < db:
+            a, b, da, db = b, a, db, da
+        diff = da - db
+        k = 0
+        while diff:
+            if diff & 1:
+                a = up[k][a]
+            diff >>= 1
+            k += 1
+        if a == b:
+            return a
+        for k in range(len(up) - 1, -1, -1):
+            if up[k][a] != up[k][b]:
+                a = up[k][a]
+                b = up[k][b]
+        return self.parent[a]
+
+    def hop_distance_int(self, a: int, b: int) -> int:
+        return self.depth[a] + self.depth[b] - 2 * self.depth[self.lca_int(a, b)]
+
+    def is_descendant_int(self, node: int, ancestor: int) -> bool:
+        """True if ``node`` lies *strictly* below ``ancestor``."""
+        return (
+            node != ancestor
+            and self.tin[ancestor] <= self.tin[node]
+            and self.tout[node] <= self.tout[ancestor]
+        )
+
+    def path_ints(self, a: int, b: int) -> tuple[int, ...]:
+        """The unique tree path from ``a`` to ``b``, inclusive of both."""
+        parent = self.parent
+        top = self.lca_int(a, b)
+        up_part = [a]
+        node = a
+        while node != top:
+            node = parent[node]
+            up_part.append(node)
+        down_part = []
+        node = b
+        while node != top:
+            down_part.append(node)
+            node = parent[node]
+        up_part.extend(reversed(down_part))
+        return tuple(up_part)
+
+    # ------------------------------------------------------------------
+    # Name-level conveniences (build-time / cold paths)
+    # ------------------------------------------------------------------
+    def lca(self, a: str, b: str) -> str:
+        return self.names[self.lca_int(self.ids[a], self.ids[b])]
+
+    def hop_distance(self, a: str, b: str) -> int:
+        return self.hop_distance_int(self.ids[a], self.ids[b])
+
+    def is_descendant(self, node: str, ancestor: str) -> bool:
+        return self.is_descendant_int(self.ids[node], self.ids[ancestor])
+
+    def path_names(self, a: str, b: str) -> tuple[str, ...]:
+        names = self.names
+        return tuple(names[i] for i in self.path_ints(self.ids[a], self.ids[b]))
+
+    def pattern_bits(self, receivers) -> int:
+        """Bitset of a collection of receiver names."""
+        bit = self.receiver_bit
+        ids = self.ids
+        acc = 0
+        for name in receivers:
+            acc |= bit[ids[name]]
+        return acc
+
+    def names_of_bits(self, bits: int) -> frozenset[str]:
+        """Receiver names of a bitset (inverse of :meth:`pattern_bits`)."""
+        names = self.names
+        out = []
+        for i, r in enumerate(self.receiver_ids):
+            if bits >> i & 1:
+                out.append(names[r])
+        return frozenset(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TopologyIndex(n={self.n}, receivers={len(self.receiver_ids)})"

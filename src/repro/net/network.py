@@ -15,11 +15,18 @@ Three propagation modes exist, mirroring the paper:
 * ``unicast`` — along the unique tree path (CESRM's expedited requests).
 * ``subcast`` — downstream flood from a router (router-assisted CESRM,
   §3.3), reaching only the subtree below the turning point.
+
+Internally every mode runs on the integer-indexed forwarding kernel: node
+ids are interned once through the tree's :class:`~repro.net.index
+.TopologyIndex`, each directed hop is a prebuilt record carrying its
+endpoint names and :class:`LinkState`, unicast walks a precomputed integer
+path, and arrivals go through the engine's raw no-``Event`` scheduling
+path.  The observable contract is unchanged: loss hooks, fault-injector
+hop rules, and trace events all still see string node ids.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Any, Callable, Protocol
 
 from repro.net.link import LinkState
@@ -32,6 +39,36 @@ from repro.sim.engine import Simulator
 #: packet on that directed hop.
 DropFn = Callable[[str, str, Packet], bool]
 
+#: Dense ``(kind, cast)`` slot numbering for the crossing counter: the hot
+#: path resolves a packet's slot once per send primitive and every hop then
+#: counts with plain list-index arithmetic — no enum hashing per crossing.
+_DATA_KIND = PacketKind.DATA
+_KINDS = tuple(PacketKind)
+_CASTS = tuple(Cast)
+_N_CAST = len(_CASTS)
+_N_SLOTS = len(_KINDS) * _N_CAST
+_KIND_INDEX = {kind: i for i, kind in enumerate(_KINDS)}
+_CAST_INDEX = {cast: i for i, cast in enumerate(_CASTS)}
+_MULTICAST_COL = _CAST_INDEX[Cast.MULTICAST]
+_UNICAST_COL = _CAST_INDEX[Cast.UNICAST]
+_SUBCAST_COL = _CAST_INDEX[Cast.SUBCAST]
+#: slot -> (kind row, cast column) and snapshot key, precomputed.
+_SLOT_ROW = tuple(slot // _N_CAST for slot in range(_N_SLOTS))
+_SLOT_COL = tuple(slot % _N_CAST for slot in range(_N_SLOTS))
+_SLOT_KEYS = tuple(
+    (kind.value, cast.value) for kind in _KINDS for cast in _CASTS
+)
+#: Kind rows whose crossings feed the Figure 5b overhead categories.
+_RETRANSMISSION_ROWS = tuple(
+    _KIND_INDEX[k] for k in _KINDS if k.is_retransmission
+)
+_RECOVERY_CONTROL_ROWS = tuple(
+    _KIND_INDEX[k] for k in _KINDS if k.is_recovery_control
+)
+_UNICAST_CONTROL_SLOTS = tuple(
+    row * _N_CAST + _UNICAST_COL for row in _RECOVERY_CONTROL_ROWS
+)
+
 
 class Agent(Protocol):
     """What the network requires of an attached host agent."""
@@ -41,51 +78,83 @@ class Agent(Protocol):
 
 
 class CrossingCounter:
-    """Counts link crossings per ``(kind, cast)`` — 1 unit per link (§4.4)."""
+    """Counts link crossings per ``(kind, cast)`` — 1 unit per link (§4.4).
+
+    Counts live in flat lists indexed by a dense ``(kind, cast)`` slot;
+    running per-kind and per-cast totals are maintained in :meth:`record` /
+    :meth:`record_slot`, so :meth:`by_kind` / :meth:`by_cast` /
+    :meth:`total` are O(1) lookups instead of scans over the distinct-key
+    set.  The network resolves a packet's slot once per send primitive and
+    calls :meth:`record_slot` per hop; :meth:`record` is the enum-keyed
+    convenience path for external callers.
+    """
+
+    __slots__ = ("_slots", "_kind_counts", "_cast_counts", "_total")
 
     def __init__(self) -> None:
-        self._counts: Counter[tuple[PacketKind, Cast]] = Counter()
+        self._slots = [0] * _N_SLOTS
+        self._kind_counts = [0] * len(_KINDS)
+        self._cast_counts = [0] * _N_CAST
+        self._total = 0
+
+    @staticmethod
+    def slot_of(kind: PacketKind, cast: Cast) -> int:
+        """The dense slot for ``(kind, cast)`` — resolve once, count often."""
+        return _KIND_INDEX[kind] * _N_CAST + _CAST_INDEX[cast]
 
     def record(self, packet: Packet) -> None:
-        self._counts[(packet.kind, packet.cast)] += 1
+        self.record_slot(
+            _KIND_INDEX[packet.kind] * _N_CAST + _CAST_INDEX[packet.cast]
+        )
+
+    def record_slot(self, slot: int) -> None:
+        self._slots[slot] += 1
+        self._kind_counts[_SLOT_ROW[slot]] += 1
+        self._cast_counts[_SLOT_COL[slot]] += 1
+        self._total += 1
 
     def total(self) -> int:
-        return sum(self._counts.values())
+        return self._total
 
     def by_kind(self, kind: PacketKind) -> int:
-        return sum(n for (k, _), n in self._counts.items() if k is kind)
+        return self._kind_counts[_KIND_INDEX[kind]]
 
     def by_cast(self, cast: Cast) -> int:
-        return sum(n for (_, c), n in self._counts.items() if c is cast)
+        return self._cast_counts[_CAST_INDEX[cast]]
 
     def get(self, kind: PacketKind, cast: Cast) -> int:
-        return self._counts[(kind, cast)]
+        return self._slots[_KIND_INDEX[kind] * _N_CAST + _CAST_INDEX[cast]]
 
     @property
     def retransmission_crossings(self) -> int:
         """Link crossings by repair replies (payload-carrying)."""
-        return sum(n for (k, _), n in self._counts.items() if k.is_retransmission)
+        kind_counts = self._kind_counts
+        return sum(kind_counts[row] for row in _RETRANSMISSION_ROWS)
 
     @property
     def multicast_control_crossings(self) -> int:
         """Link crossings by multicast repair requests."""
-        return sum(
-            n
-            for (k, c), n in self._counts.items()
-            if k.is_recovery_control and c is not Cast.UNICAST
+        kind_counts = self._kind_counts
+        return (
+            sum(kind_counts[row] for row in _RECOVERY_CONTROL_ROWS)
+            - self.unicast_control_crossings
         )
 
     @property
     def unicast_control_crossings(self) -> int:
         """Link crossings by unicast (expedited) repair requests."""
-        return sum(
-            n
-            for (k, c), n in self._counts.items()
-            if k.is_recovery_control and c is Cast.UNICAST
-        )
+        slots = self._slots
+        return sum(slots[slot] for slot in _UNICAST_CONTROL_SLOTS)
 
     def snapshot(self) -> dict[tuple[str, str], int]:
-        return {(k.value, c.value): n for (k, c), n in self._counts.items()}
+        """Nonzero counts keyed ``(kind.value, cast.value)``, in dense slot
+        (kind-major) order.  Consumers sort or aggregate; iteration order is
+        not part of the contract."""
+        return {
+            _SLOT_KEYS[slot]: count
+            for slot, count in enumerate(self._slots)
+            if count
+        }
 
 
 class Network:
@@ -124,11 +193,41 @@ class Network:
         self.packets_delivered = 0
         self._agents: dict[str, Agent] = {}
         self._links: dict[tuple[str, str], LinkState] = {}
-        for parent, child in tree.links:
-            for u, v in ((parent, child), (child, parent)):
-                self._links[(u, v)] = LinkState(
-                    bandwidth_bps=bandwidth_bps, propagation_delay=propagation_delay
-                )
+
+        index = tree.index
+        self._index = index
+        n = index.n
+        self._n = n
+        self._ids = index.ids
+        self._names = index.names
+        #: Agent slot per interned node id (None at routers / unattached).
+        self._agents_by_id: list[Agent | None] = [None] * n
+        #: Directed-hop records ``(to_id, from_name, to_name, link)`` —
+        #: everything one transmission touches, resolved once at build time.
+        #: ``_adj`` fans out children-first-then-parent (the flood order);
+        #: ``_child_adj`` is the downstream-only fan-out for subcast.
+        hop_record: dict[int, tuple[int, str, str, LinkState]] = {}
+        names = index.names
+        for parent_id, kids in enumerate(index.children):
+            for child_id in kids:
+                parent_name = names[parent_id]
+                child_name = names[child_id]
+                for u, v in ((parent_id, child_id), (child_id, parent_id)):
+                    link = LinkState(
+                        bandwidth_bps=bandwidth_bps,
+                        propagation_delay=propagation_delay,
+                    )
+                    self._links[(names[u], names[v])] = link
+                    hop_record[u * n + v] = (v, names[u], names[v], link)
+        self._hop_record = hop_record
+        self._child_adj: list[tuple[tuple[int, str, str, LinkState], ...]] = [
+            tuple(hop_record[node * n + child] for child in index.children[node])
+            for node in range(n)
+        ]
+        self._adj: list[tuple[tuple[int, str, str, LinkState], ...]] = [
+            tuple(hop_record[node * n + nb] for nb in index.neighbors[node])
+            for node in range(n)
+        ]
 
     # ------------------------------------------------------------------
     # Attachment
@@ -138,6 +237,7 @@ class Network:
         if self.tree.kind(host_id) is NodeKind.ROUTER:
             raise ValueError(f"cannot attach an agent at router {host_id!r}")
         self._agents[host_id] = agent
+        self._agents_by_id[self._ids[host_id]] = agent
 
     def agent(self, host_id: str) -> Agent:
         return self._agents[host_id]
@@ -164,10 +264,11 @@ class Network:
     def multicast(self, packet: Packet) -> Packet:
         """Flood ``packet`` over the tree from ``packet.origin``."""
         packet.cast = Cast.MULTICAST
-        packet.sent_at = self.sim.now
+        packet.sent_at = self.sim._now
         if self.sim.tracer is not None:
             self._trace_send(packet)
-        self._flood(packet.origin, None, packet)
+        slot = _KIND_INDEX[packet.kind] * _N_CAST + _MULTICAST_COL
+        self._flood(self._ids[packet.origin], -1, packet, slot)
         return packet
 
     def unicast(self, dest: str, packet: Packet) -> Packet:
@@ -176,92 +277,168 @@ class Network:
         if dest == packet.origin:
             raise ValueError("unicast to self")
         packet.cast = Cast.UNICAST
-        packet.sent_at = self.sim.now
+        packet.sent_at = self.sim._now
         if self.sim.tracer is not None:
             self._trace_send(packet, dest=dest)
-        path = self.tree.path(packet.origin, dest)
-        self._unicast_hop(path, 0, packet)
+        slot = _KIND_INDEX[packet.kind] * _N_CAST + _UNICAST_COL
+        path = self._index.path_ints(self._ids[packet.origin], self._ids[dest])
+        self._unicast_transmit(path, 0, packet, False, slot)
         return packet
 
     def unicast_then_subcast(self, turning_point: str, packet: Packet) -> Packet:
         """Router-assisted reply (§3.3): unicast from ``packet.origin`` up to
         the ``turning_point`` router, which then subcasts downstream."""
         packet.cast = Cast.SUBCAST
-        packet.sent_at = self.sim.now
+        packet.sent_at = self.sim._now
         packet.turning_point = turning_point
         if self.sim.tracer is not None:
             self._trace_send(packet, turning_point=turning_point)
+        slot = _KIND_INDEX[packet.kind] * _N_CAST + _SUBCAST_COL
+        origin_id = self._ids[packet.origin]
         if turning_point == packet.origin:
-            self._subcast_from(turning_point, packet)
+            self._subcast_from(origin_id, packet, origin_id, slot)
             return packet
-        path = self.tree.path(packet.origin, turning_point)
-        self._unicast_hop(path, 0, packet, then_subcast=True)
+        path = self._index.path_ints(origin_id, self._ids[turning_point])
+        self._unicast_transmit(path, 0, packet, True, slot)
         return packet
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals (integer kernel)
     # ------------------------------------------------------------------
-    def _flood(self, node: str, from_node: str | None, packet: Packet) -> None:
-        for neighbor in self.tree.neighbors(node):
-            if neighbor == from_node:
-                continue
-            self._transmit(node, neighbor, packet, self._flood_arrival)
+    def _flood(self, node: int, from_node: int, packet: Packet, slot: int) -> None:
+        for record in self._adj[node]:
+            to = record[0]
+            if to != from_node:
+                self._transmit(
+                    record, packet, slot, self._flood_arrival, (to, node, packet, slot)
+                )
 
-    def _flood_arrival(self, node: str, from_node: str, packet: Packet) -> None:
-        self._maybe_deliver(node, packet)
-        self._flood(node, from_node, packet)
+    def _flood_arrival(
+        self, node: int, from_node: int, packet: Packet, slot: int
+    ) -> None:
+        agent = self._agents_by_id[node]
+        if agent is not None:
+            # A flood never revisits its origin (acyclic tree + the
+            # arrival-link exclusion), so no origin check is needed here.
+            # Inline of _deliver (one call per delivery saved).
+            self.packets_delivered += 1
+            if self.sim.tracer is not None:
+                self._trace_deliver(node, packet)
+            agent.receive(packet)
+        # Inline of _flood (one call per arrival saved on the hottest path).
+        for record in self._adj[node]:
+            to = record[0]
+            if to != from_node:
+                self._transmit(
+                    record, packet, slot, self._flood_arrival, (to, node, packet, slot)
+                )
 
-    def _subcast_from(self, router: str, packet: Packet) -> None:
-        for child in self.tree.children(router):
-            self._transmit(router, child, packet, self._subcast_arrival)
+    def _subcast_from(
+        self, router: int, packet: Packet, origin: int, slot: int
+    ) -> None:
+        for record in self._child_adj[router]:
+            self._transmit(
+                record,
+                packet,
+                slot,
+                self._subcast_arrival,
+                (record[0], packet, origin, slot),
+            )
 
-    def _subcast_arrival(self, node: str, from_node: str, packet: Packet) -> None:
-        self._maybe_deliver(node, packet)
-        self._subcast_from(node, packet)
+    def _subcast_arrival(
+        self, node: int, packet: Packet, origin: int, slot: int
+    ) -> None:
+        agent = self._agents_by_id[node]
+        if agent is not None and node != origin:
+            # Subcast can sweep back over the replier itself; skip it.
+            self._deliver(node, agent, packet)
+        for record in self._child_adj[node]:
+            self._transmit(
+                record,
+                packet,
+                slot,
+                self._subcast_arrival,
+                (record[0], packet, origin, slot),
+            )
 
-    def _unicast_hop(
+    def _unicast_transmit(
         self,
-        path: tuple[str, ...],
+        path: tuple[int, ...],
         index: int,
         packet: Packet,
-        then_subcast: bool = False,
+        then_subcast: bool,
+        slot: int,
     ) -> None:
-        u, v = path[index], path[index + 1]
+        record = self._hop_record[path[index] * self._n + path[index + 1]]
+        self._transmit(
+            record,
+            packet,
+            slot,
+            self._unicast_arrival,
+            (path, index, packet, then_subcast, slot),
+        )
 
-        def arrival(node: str, _from: str, pkt: Packet) -> None:
-            if index + 2 < len(path):
-                self._unicast_hop(path, index + 1, pkt, then_subcast)
-            elif then_subcast:
-                self._subcast_from(node, pkt)
-            else:
-                self._maybe_deliver(node, pkt, expected=True)
-
-        self._transmit(u, v, packet, arrival)
+    def _unicast_arrival(
+        self,
+        path: tuple[int, ...],
+        index: int,
+        packet: Packet,
+        then_subcast: bool,
+        slot: int,
+    ) -> None:
+        if index + 2 < len(path):
+            self._unicast_transmit(path, index + 1, packet, then_subcast, slot)
+            return
+        node = path[index + 1]
+        if then_subcast:
+            self._subcast_from(node, packet, self._ids[packet.origin], slot)
+            return
+        agent = self._agents_by_id[node]
+        if agent is None:
+            raise RuntimeError(
+                f"unicast destination {self._names[node]!r} has no agent"
+            )
+        self._deliver(node, agent, packet)
 
     def _transmit(
         self,
-        u: str,
-        v: str,
+        record: tuple[int, str, str, LinkState],
         packet: Packet,
-        on_arrival: Callable[[str, str, Packet], None],
+        slot: int,
+        on_arrival: Callable[..., None],
+        args: tuple[Any, ...],
     ) -> None:
-        self.crossings.record(packet)
-        tracer = self.sim.tracer
+        _, u, v, link = record
+        # Inline of CrossingCounter.record_slot (same module, hottest line).
+        crossings = self.crossings
+        crossings._slots[slot] += 1
+        crossings._kind_counts[_SLOT_ROW[slot]] += 1
+        crossings._cast_counts[_SLOT_COL[slot]] += 1
+        crossings._total += 1
+        sim = self.sim
+        tracer = sim.tracer
         if self.drop_fn is not None and self.drop_fn(u, v, packet):
             self._record_drop(u, v, packet, tracer)
             return
         duplicate = False
         extra_delay = 0.0
-        if self.faults is not None:
-            effect = self.faults.on_hop(u, v, packet)
+        faults = self.faults
+        if faults is not None and (
+            faults._down
+            or not faults._rules_data_only
+            or packet.kind is _DATA_KIND
+        ):
+            # Skipped when every rule is tagged data-only, no link is down,
+            # and this is not a DATA packet: on_hop would provably return
+            # None without side effects.
+            effect = faults.on_hop(u, v, packet)
             if effect is not None:
                 if effect.drop:
                     self._record_drop(u, v, packet, tracer)
                     return
                 duplicate = effect.duplicate
                 extra_delay = effect.extra_delay
-        link = self._links[(u, v)]
-        now = self.sim.now
+        now = sim._now
         if tracer is not None:
             wait = link.busy_until - now
             tracer.emit(
@@ -285,20 +462,45 @@ class Network:
                     wait=wait,
                 )
                 tracer.observe("net.queueing_delay", wait)
-        arrival_time = link.enqueue(now, packet.size_bytes)
-        self.sim.schedule_at(arrival_time + extra_delay, on_arrival, v, u, packet)
+        # Inline of LinkState.enqueue — identical float-op order, minus the
+        # method-call overhead on the hottest line in the simulator.  The
+        # 0-byte control branch skips the arithmetic that is a no-op there
+        # (``tx == 0.0`` leaves ``end == start``; ``bytes += 0`` is inert).
+        busy = link.busy_until
+        start = busy if busy > now else now
+        size = packet.size_bytes
+        link.queueing_delay_total += start - now
+        if size > 0:
+            end = start + size * 8.0 / link.bandwidth_bps
+            link.bytes_carried += size
+        else:
+            end = start
+        link.busy_until = end
+        link.packets_carried += 1
+        arrival = end + link.propagation_delay + extra_delay
+        # Inline of schedule_raw's bucket-hit fast path.  Safe to skip the
+        # past-check: a pending bucket's timestamp is always >= sim._now
+        # (earlier buckets would already have been drained), so an existing
+        # bucket at ``arrival`` proves the time is legal.  Sibling hops of
+        # a flood share arrival instants constantly, so the hit rate is
+        # high on exactly the hottest path.
+        bucket = sim._buckets.get(arrival)
+        if bucket is not None:
+            bucket.append((on_arrival, args))
+        else:
+            sim.schedule_raw(arrival, on_arrival, args)
         if duplicate:
             # The copy serializes behind the original on the same link and
             # continues with the same forwarding behaviour downstream.
-            self.crossings.record(packet)
+            crossings.record_slot(slot)
             dup_arrival = link.enqueue(now, packet.size_bytes)
-            self.sim.schedule_at(dup_arrival + extra_delay, on_arrival, v, u, packet)
+            sim.schedule_raw(dup_arrival + extra_delay, on_arrival, args)
 
     def _record_drop(self, u: str, v: str, packet: Packet, tracer) -> None:
         self.packets_dropped += 1
         if tracer is not None:
             tracer.emit(
-                self.sim.now,
+                self.sim._now,
                 EventKind.NET_DROP,
                 node=v,
                 source=packet.source,
@@ -307,28 +509,25 @@ class Network:
                 link=f"{u}->{v}",
             )
 
-    def _maybe_deliver(self, node: str, packet: Packet, expected: bool = False) -> None:
-        agent = self._agents.get(node)
-        if agent is None:
-            if expected:
-                raise RuntimeError(f"unicast destination {node!r} has no agent")
-            return
-        if node == packet.origin:
-            return
+    def _deliver(self, node: int, agent: Agent, packet: Packet) -> None:
         self.packets_delivered += 1
         if self.sim.tracer is not None:
-            self.sim.tracer.emit(
-                self.sim.now,
-                EventKind.NET_DELIVER,
-                node=node,
-                source=packet.source,
-                seqno=packet.seqno,
-                pkt=packet.kind.value,
-                cast=packet.cast.value,
-                origin=packet.origin,
-                latency=self.sim.now - packet.sent_at,
-            )
+            self._trace_deliver(node, packet)
         agent.receive(packet)
+
+    def _trace_deliver(self, node: int, packet: Packet) -> None:
+        now = self.sim._now
+        self.sim.tracer.emit(
+            now,
+            EventKind.NET_DELIVER,
+            node=self._names[node],
+            source=packet.source,
+            seqno=packet.seqno,
+            pkt=packet.kind.value,
+            cast=packet.cast.value,
+            origin=packet.origin,
+            latency=now - packet.sent_at,
+        )
 
     def _trace_send(self, packet: Packet, **detail: Any) -> None:
         self.sim.tracer.emit(

@@ -55,7 +55,7 @@ class Cast(enum.Enum):
     SUBCAST = "subcast"      # downstream flood from a turning-point router
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A packet in flight.
 
@@ -109,6 +109,13 @@ class Packet:
     def packet_id(self) -> tuple[str, int]:
         """Identity of the data packet this packet pertains to."""
         return (self.source, self.seqno)
+
+    def copy(self) -> "Packet":
+        """A fast independent copy (slot-wise, no dataclass machinery)."""
+        clone = object.__new__(Packet)
+        for slot in self.__slots__:
+            object.__setattr__(clone, slot, getattr(self, slot))
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

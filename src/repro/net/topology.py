@@ -19,6 +19,8 @@ import enum
 import random
 from dataclasses import dataclass
 
+from repro.net.index import TopologyIndex
+
 #: A directed downstream link, identified as ``(parent, child)``.
 LinkId = tuple[str, str]
 
@@ -119,7 +121,22 @@ class MulticastTree:
 
         self._subtree_receivers: dict[str, frozenset[str]] = {}
         self._fill_subtree_receivers(source)
-        self._path_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        self._index: TopologyIndex | None = None
+
+    @property
+    def index(self) -> TopologyIndex:
+        """The frozen integer-indexed kernel view of this tree, built on
+        first use and shared by every consumer (network, attribution DP,
+        fabrics).  The tree is immutable after construction, so the index
+        never invalidates."""
+        if self._index is None:
+            self._index = TopologyIndex(
+                names=tuple(self._nodes),
+                parent_of=self._parents,
+                children_of=self._children,
+                receivers=self.receivers,
+            )
+        return self._index
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -201,12 +218,9 @@ class MulticastTree:
 
     def is_descendant(self, node_id: str, ancestor: str) -> bool:
         """True if ``node_id`` lies strictly below ``ancestor``."""
-        current = self._node(node_id).parent
-        while current is not None:
-            if current == ancestor:
-                return True
-            current = self._nodes[current].parent
-        return False
+        self._node(node_id)
+        self._node(ancestor)
+        return self.index.is_descendant(node_id, ancestor)
 
     def ancestors(self, node_id: str) -> list[str]:
         """Ancestors of ``node_id``, nearest first, ending at the source."""
@@ -221,41 +235,21 @@ class MulticastTree:
         """Lowest common ancestor — the §3.3 *turning point* of a repair
         travelling from ``a`` to ``b`` (or vice versa) in the source-rooted
         tree."""
-        na, nb = self._node(a), self._node(b)
-        while na.depth > nb.depth:
-            na = self._nodes[na.parent]  # type: ignore[index]
-        while nb.depth > na.depth:
-            nb = self._nodes[nb.parent]  # type: ignore[index]
-        while na.node_id != nb.node_id:
-            na = self._nodes[na.parent]  # type: ignore[index]
-            nb = self._nodes[nb.parent]  # type: ignore[index]
-        return na.node_id
+        self._node(a)
+        self._node(b)
+        return self.index.lca(a, b)
 
     def path(self, a: str, b: str) -> tuple[str, ...]:
         """The unique tree path from ``a`` to ``b``, inclusive of both."""
-        key = (a, b)
-        cached = self._path_cache.get(key)
-        if cached is not None:
-            return cached
-        top = self.lca(a, b)
-        up = [a]
-        node = a
-        while node != top:
-            node = self._nodes[node].parent  # type: ignore[assignment]
-            up.append(node)
-        down = [b]
-        node = b
-        while node != top:
-            node = self._nodes[node].parent  # type: ignore[assignment]
-            down.append(node)
-        down.pop()  # drop the LCA, already in `up`
-        result = tuple(up + down[::-1])
-        self._path_cache[key] = result
-        return result
+        self._node(a)
+        self._node(b)
+        return self.index.path_names(a, b)
 
     def hop_distance(self, a: str, b: str) -> int:
         """Number of links on the unique path between ``a`` and ``b``."""
-        return len(self.path(a, b)) - 1
+        self._node(a)
+        self._node(b)
+        return self.index.hop_distance(a, b)
 
     def links_upstream_of(self, link: LinkId) -> list[LinkId]:
         """Links on the path from the source down to (excluding) ``link``."""

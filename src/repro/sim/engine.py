@@ -1,16 +1,34 @@
 """The discrete-event simulation loop.
 
-:class:`Simulator` keeps a virtual clock and a binary heap of scheduled
-:class:`~repro.sim.events.Event` objects.  Running the simulator pops events
-in ``(time, scheduling-order)`` order and invokes their callbacks.  The clock
-only moves when an event fires, so simulated time is completely decoupled
-from wall-clock time.
+:class:`Simulator` keeps a virtual clock and a *batched* event queue: a
+binary heap of distinct timestamps plus one FIFO bucket of entries per
+timestamp.  Running the simulator drains whole buckets in scheduling order
+— simultaneous events cost one heap operation for the batch instead of one
+``heappush``/``heappop`` (plus ``Event`` comparisons) each, which is where
+the old flat-heap engine spent most of its time on hop-dense multicast
+floods.  The clock only moves when an event fires, so simulated time is
+completely decoupled from wall-clock time.
+
+Two scheduling paths share the queue:
+
+* :meth:`schedule` / :meth:`schedule_at` allocate a cancellable
+  :class:`~repro.sim.events.Event` (timers, agent work);
+* :meth:`schedule_raw` enqueues a bare ``(callback, args)`` pair with no
+  ``Event`` allocation, for the network's per-hop arrivals, which are never
+  cancelled and dominate the event count.
+
+Cancellation stays lazy (flag and skip), but cancelled entries are now
+*compacted*: each bucket sheds them the moment it is drained, and
+:meth:`run` sweeps the whole queue at a fixed event cadence so a restarted
+timer's corpse never outlives its bucket by much.
 
 Determinism contract
 --------------------
 Given identical schedules and identical random streams (see
 :class:`~repro.sim.rng.RngRegistry`), two runs produce identical event
-sequences.  The engine never consults global randomness or wall-clock time.
+sequences.  Batching preserves the total ``(time, scheduling-order)``
+order exactly: buckets pop in time order and each bucket is FIFO.  The
+engine never consults global randomness or wall-clock time.
 """
 
 from __future__ import annotations
@@ -19,6 +37,10 @@ import heapq
 from typing import Any, Callable
 
 from repro.sim.events import Event
+
+#: Fired-event cadence at which :meth:`Simulator.run` compacts
+#: lazily-cancelled entries out of future buckets.
+COMPACT_INTERVAL = 1 << 16
 
 
 class SimulationError(RuntimeError):
@@ -43,7 +65,14 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        #: Heap of distinct timestamps with a pending bucket.
+        self._times: list[float] = []
+        #: timestamp -> FIFO list of entries (Event | (callback, args)).
+        self._buckets: dict[float, list[Any]] = {}
+        #: Bucket currently being drained (already popped from _buckets).
+        self._bucket: list[Any] | None = None
+        self._bucket_time = 0.0
+        self._bucket_pos = 0
         self._seq = 0
         self._events_processed = 0
         self._running = False
@@ -70,8 +99,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued, including lazily-cancelled ones."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of events still queued, excluding lazily-cancelled ones."""
+        count = 0
+        if self._bucket is not None:
+            count += sum(
+                1
+                for e in self._bucket[self._bucket_pos :]
+                if type(e) is tuple or not e.cancelled
+            )
+        for bucket in self._buckets.values():
+            count += sum(1 for e in bucket if type(e) is tuple or not e.cancelled)
+        return count
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -95,30 +133,110 @@ class Simulator:
             )
         event = Event(time, self._seq, callback, args)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._push(time, event)
         return event
+
+    def schedule_raw(
+        self, time: float, callback: Callable[..., Any], args: tuple[Any, ...]
+    ) -> None:
+        """Schedule a non-cancellable ``callback(*args)`` at ``time``.
+
+        The fast path for fire-and-forget work (the network's per-hop
+        packet arrivals): no :class:`Event` is allocated and nothing is
+        returned.  Ordering relative to :meth:`schedule_at` is exactly
+        call order, as if an ``Event`` had been created.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} before now={self._now!r}"
+            )
+        # Inline of _push (this is the hottest scheduling entry point).
+        bucket = self._buckets.get(time)
+        if bucket is not None:
+            bucket.append((callback, args))
+            return
+        self._push(time, (callback, args))
+
+    def _push(self, time: float, entry: Any) -> None:
+        bucket = self._buckets.get(time)
+        if bucket is not None:
+            bucket.append(entry)
+            return
+        current = self._bucket
+        if current is not None:
+            if time == self._bucket_time:
+                # The instant being drained: fires later in this very batch.
+                current.append(entry)
+                return
+            if time < self._bucket_time:
+                # Earlier than the paused drain cursor — possible only
+                # between runs, after an ``until``/``max_events`` break
+                # left a partially drained bucket detached.  Requeue its
+                # remainder so heap order is restored.
+                rest = current[self._bucket_pos :]
+                if rest:
+                    self._buckets[self._bucket_time] = rest
+                    heapq.heappush(self._times, self._bucket_time)
+                self._bucket = None
+        self._buckets[time] = [entry]
+        heapq.heappush(self._times, time)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _advance(self) -> float | None:
+        """Move the drain cursor to the next live entry; return its time.
+
+        Skipped cancelled entries are discarded (bucket-level compaction).
+        Returns None when the queue is exhausted.  Does not fire anything.
+        """
+        while True:
+            bucket = self._bucket
+            if bucket is not None:
+                pos = self._bucket_pos
+                size = len(bucket)
+                while pos < size:
+                    entry = bucket[pos]
+                    if type(entry) is tuple or not entry.cancelled:
+                        self._bucket_pos = pos
+                        return self._bucket_time
+                    pos += 1
+                self._bucket = None
+            if not self._times:
+                return None
+            time = heapq.heappop(self._times)
+            self._bucket = self._buckets.pop(time)
+            self._bucket_time = time
+            self._bucket_pos = 0
+
+    def _fire_one(self) -> None:
+        """Fire the entry under the drain cursor (must be live)."""
+        bucket = self._bucket
+        assert bucket is not None
+        entry = bucket[self._bucket_pos]
+        self._bucket_pos += 1
+        self._now = self._bucket_time
+        self._events_processed += 1
+        if type(entry) is tuple:
+            callback, args = entry
+        else:
+            entry.fired = True
+            callback = entry.callback
+            args = entry.args
+        if self.profiler is None:
+            callback(*args)
+        else:
+            self.profiler.record_call(callback, args)
+
     def step(self) -> bool:
         """Fire the single next pending event.
 
         Returns True if an event fired, False if the queue is exhausted.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.fired = True
-            self._events_processed += 1
-            if self.profiler is None:
-                event.callback(*event.args)
-            else:
-                self.profiler.record_call(event.callback, event.args)
-            return True
-        return False
+        if self._advance() is None:
+            return False
+        self._fire_one()
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -133,19 +251,93 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        # The body below is :meth:`_advance` + :meth:`_fire_one` inlined:
+        # at millions of events per run the two method calls per event are
+        # measurable.  ``step()`` still uses the method forms; keep the
+        # three drain paths behaviourally identical.
+        heappop = heapq.heappop
+        buckets = self._buckets
+        next_compact = COMPACT_INTERVAL
+        done = False
         try:
-            while self._queue and not self._stopped:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    self._now = max(self._now, until)
+            while not done:
+                # Advance the drain cursor to the next live entry.
+                entry = None
+                bucket = self._bucket
+                pos = self._bucket_pos
+                while True:
+                    if bucket is not None:
+                        size = len(bucket)
+                        while pos < size:
+                            candidate = bucket[pos]
+                            if type(candidate) is tuple or not candidate.cancelled:
+                                entry = candidate
+                                break
+                            pos += 1
+                        if entry is not None:
+                            break
+                        self._bucket = bucket = None
+                    times = self._times
+                    if not times:
+                        break
+                    time = heappop(times)
+                    bucket = buckets.pop(time)
+                    self._bucket = bucket
+                    self._bucket_time = time
+                    pos = 0
+                if entry is None:
                     break
-                if max_events is not None and fired >= max_events:
+                self._bucket_pos = pos
+                time = self._bucket_time
+                # Checked once per bucket: every entry in it shares ``time``,
+                # including zero-delay events appended while draining.
+                if until is not None and time > until:
+                    if self._now < until:
+                        self._now = until
                     break
-                self.step()
-                fired += 1
+                # Stop/limit checks happen before each fire — here for the
+                # bucket's first entry (before the clock moves), at the loop
+                # bottom for the rest.
+                if self._stopped or (max_events is not None and fired >= max_events):
+                    break
+                self._now = time
+                # Drain the selected bucket.
+                while True:
+                    self._bucket_pos = pos + 1
+                    self._events_processed += 1
+                    if type(entry) is tuple:
+                        callback, args = entry
+                    else:
+                        entry.fired = True
+                        callback = entry.callback
+                        args = entry.args
+                    if self.profiler is None:
+                        callback(*args)
+                    else:
+                        self.profiler.record_call(callback, args)
+                    fired += 1
+                    if fired == next_compact:
+                        next_compact += COMPACT_INTERVAL
+                        self.compact()
+                    # Next live entry in the same bucket, if any.
+                    pos = self._bucket_pos
+                    entry = None
+                    size = len(bucket)
+                    while pos < size:
+                        candidate = bucket[pos]
+                        if type(candidate) is tuple or not candidate.cancelled:
+                            entry = candidate
+                            break
+                        pos += 1
+                    if entry is None:
+                        self._bucket = None
+                        break
+                    self._bucket_pos = pos
+                    if self._stopped or (
+                        max_events is not None and fired >= max_events
+                    ):
+                        done = True
+                        break
         finally:
             self._running = False
 
@@ -155,7 +347,40 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop every pending event without firing it."""
-        self._queue.clear()
+        self._times.clear()
+        self._buckets.clear()
+        bucket = self._bucket
+        if bucket is not None:
+            # run()'s inlined drain loop holds a direct reference to the
+            # active bucket; truncate it in place so the per-event size
+            # re-read sees it exhausted and the loop halts even when
+            # clear() is called from inside a firing callback.
+            del bucket[self._bucket_pos :]
+            self._bucket = None
+
+    def compact(self) -> None:
+        """Drop lazily-cancelled entries from every future bucket.
+
+        Draining already compacts the active bucket; this sweeps the rest,
+        bounding the memory held by restarted timers' stale events.  Called
+        automatically by :meth:`run` every ``COMPACT_INTERVAL`` events and
+        safe to call at any point.
+        """
+        empty: list[float] = []
+        for time, bucket in self._buckets.items():
+            live = [e for e in bucket if type(e) is tuple or not e.cancelled]
+            if live:
+                if len(live) != len(bucket):
+                    self._buckets[time] = live
+            else:
+                empty.append(time)
+        if empty:
+            for time in empty:
+                del self._buckets[time]
+            # Rebuild the time heap without the now-empty timestamps (the
+            # active bucket's time is not in the heap by construction).
+            self._times = [t for t in self._times if t in self._buckets]
+            heapq.heapify(self._times)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

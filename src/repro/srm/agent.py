@@ -42,6 +42,17 @@ from repro.srm.constants import SrmParams
 from repro.srm.session import DistanceEstimator, SessionReport
 from repro.srm.state import ReplyState, RequestState, StreamState
 
+# Members bound once at import: :meth:`SrmAgent.receive` compares by
+# identity against these on every delivery, and a module global is
+# cheaper than an enum attribute lookup (or the ``is_retransmission``
+# property, which is a Python-level call) on that path.
+_DATA = PacketKind.DATA
+_SESSION = PacketKind.SESSION
+_RQST = PacketKind.RQST
+_ERQST = PacketKind.ERQST
+_REPL = PacketKind.REPL
+_EREPL = PacketKind.EREPL
+
 
 @dataclass
 class SourceState:
@@ -216,15 +227,15 @@ class SrmAgent:
         if self.failed:
             return
         kind = packet.kind
-        if kind is PacketKind.DATA:
+        if kind is _DATA:
             self._on_data(packet)
-        elif kind is PacketKind.SESSION:
+        elif kind is _SESSION:
             self._on_session(packet)
-        elif kind is PacketKind.RQST:
+        elif kind is _RQST:
             self._on_request(packet)
-        elif kind is PacketKind.ERQST:
+        elif kind is _ERQST:
             self._on_expedited_request(packet)
-        elif kind.is_retransmission:
+        elif kind is _REPL or kind is _EREPL:
             self._on_reply(packet)
         else:  # pragma: no cover - exhaustive over PacketKind
             raise ValueError(f"unhandled packet kind {kind!r}")
@@ -235,13 +246,22 @@ class SrmAgent:
     def _on_data(self, packet: Packet) -> None:
         src = packet.source
         seq = packet.seqno
-        state = self.source_state(src)
-        if state.stream.has(seq):
-            state.stream.duplicates += 1
+        # Inline of source_state / StreamState.has / max(): this handler
+        # runs once per delivered data packet at every host.
+        state = self._sources.get(src)
+        if state is None:
+            state = self._sources[src] = SourceState()
+        stream = state.stream
+        if seq in stream.received:
+            stream.duplicates += 1
             return
-        self._advance_stream(src, seq - 1)
-        state.stream.received.add(seq)
-        state.stream.max_seq = max(state.stream.max_seq, seq)
+        if seq - 1 > stream.max_seq:
+            # Guarded call: _advance_stream is a no-op otherwise (the
+            # common in-order case), and the check is one comparison.
+            self._advance_stream(src, seq - 1)
+        stream.received.add(seq)
+        if seq > stream.max_seq:
+            stream.max_seq = seq
         request = state.request_states.pop(seq, None)
         if request is not None:
             # The packet was presumed lost but showed up on the data path
@@ -349,9 +369,12 @@ class SrmAgent:
     def _on_request(self, packet: Packet) -> None:
         src = packet.source
         seq = packet.seqno
-        state = self.source_state(src)
-        self._advance_stream(src, seq - 1)
-        if state.stream.has(seq):
+        state = self._sources.get(src)
+        if state is None:
+            state = self._sources[src] = SourceState()
+        if seq - 1 > state.stream.max_seq:
+            self._advance_stream(src, seq - 1)
+        if seq in state.stream.received:
             self._consider_reply(packet)
             return
         if src == self.host_id:
@@ -450,16 +473,23 @@ class SrmAgent:
     def _on_reply(self, packet: Packet) -> None:
         src = packet.source
         seq = packet.seqno
-        state = self.source_state(src)
-        self._advance_stream(src, seq - 1)
-        now = self.sim.now
-        if not state.stream.has(seq):
-            state.stream.received.add(seq)
-            state.stream.max_seq = max(state.stream.max_seq, seq)
+        state = self._sources.get(src)
+        if state is None:
+            state = self._sources[src] = SourceState()
+        stream = state.stream
+        if seq - 1 > stream.max_seq:
+            self._advance_stream(src, seq - 1)
+        sim = self.sim
+        now = sim._now
+        tracer = sim.tracer
+        if seq not in stream.received:
+            stream.received.add(seq)
+            if seq > stream.max_seq:
+                stream.max_seq = seq
             request = state.request_states.pop(seq, None)
             if request is not None:
                 request.timer.cancel()
-                expedited = packet.kind is PacketKind.EREPL
+                expedited = packet.kind is _EREPL
                 self.metrics.on_recovery(
                     host=self.host_id,
                     seq=seq,
@@ -467,8 +497,8 @@ class SrmAgent:
                     expedited=expedited,
                     requests_sent=request.requests_sent,
                 )
-                if self.sim.tracer is not None:
-                    self.sim.tracer.emit(
+                if tracer is not None:
+                    tracer.emit(
                         now,
                         EventKind.RECOVERY_COMPLETED,
                         node=self.host_id,
@@ -479,15 +509,13 @@ class SrmAgent:
                         replier=packet.replier or packet.origin,
                         requests_sent=request.requests_sent,
                     )
-                    self.sim.tracer.observe(
-                        "recovery.latency", now - request.detected_at
-                    )
+                    tracer.observe("recovery.latency", now - request.detected_at)
             else:
                 # Repaired before the gap was even noticed.
-                state.stream.ever_lost.add(seq)
+                stream.ever_lost.add(seq)
                 self.metrics.on_undetected_recovery(self.host_id, seq)
-                if self.sim.tracer is not None:
-                    self.sim.tracer.emit(
+                if tracer is not None:
+                    tracer.emit(
                         now,
                         EventKind.RECOVERY_UNDETECTED,
                         node=self.host_id,
@@ -497,8 +525,8 @@ class SrmAgent:
             self._on_packet_obtained(src, seq)
         else:
             self.metrics.on_duplicate_reply(self.host_id, seq)
-            if self.sim.tracer is not None:
-                self.sim.tracer.emit(
+            if tracer is not None:
+                tracer.emit(
                     now,
                     EventKind.REPLY_DUPLICATE,
                     node=self.host_id,
@@ -513,8 +541,8 @@ class SrmAgent:
             reply_state = ReplyState()
             state.reply_states[seq] = reply_state
         if reply_state.timer is not None:
-            if self.sim.tracer is not None and reply_state.scheduled():
-                self.sim.tracer.emit(
+            if tracer is not None and reply_state.scheduled():
+                tracer.emit(
                     now,
                     EventKind.REPLY_SUPPRESSED,
                     node=self.host_id,
@@ -525,9 +553,10 @@ class SrmAgent:
             reply_state.timer.cancel()
         requestor = packet.requestor or packet.origin
         distance = self.distances.get_or(requestor, self.params.default_distance)
-        reply_state.hold_until = max(
-            reply_state.hold_until, now + self.params.reply_abstinence(distance)
-        )
+        # reply_abstinence and max() inlined (identical float-op order).
+        hold = now + self.params.d3 * distance
+        if hold > reply_state.hold_until:
+            reply_state.hold_until = hold
         self._on_reply_observed(packet)
 
     # ------------------------------------------------------------------
@@ -562,11 +591,16 @@ class SrmAgent:
 
     def _on_session(self, packet: Packet) -> None:
         report: SessionReport = packet.payload
-        self.distances.on_session(report, self.sim.now)
+        self.distances.on_session(report, self.sim._now)
+        host_id = self.host_id
+        sources = self._sources
         for src, reported in report.max_seqs.items():
-            if src == self.host_id:
+            if src == host_id:
                 continue
-            if reported > self.source_state(src).stream.max_seq:
+            state = sources.get(src)
+            if state is None:
+                state = sources[src] = SourceState()
+            if reported > state.stream.max_seq:
                 self._advance_stream(src, reported)
 
     # ------------------------------------------------------------------

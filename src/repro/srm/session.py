@@ -49,11 +49,17 @@ class DistanceEstimator:
         self._estimates: dict[str, float] = {}
         self._peers: dict[str, _PeerRecord] = {}
         self.updates = 0
+        # Shadow the get_or method with the estimate dict's own bound
+        # ``get`` (same signature): agents call it once per observed reply
+        # and per scheduled timer, where the extra Python frame shows up.
+        self.get_or = self._estimates.get
 
     # -- incoming ------------------------------------------------------
     def on_session(self, report: SessionReport, now: float) -> None:
         """Digest a peer's session message received at time ``now``."""
-        record = self._peers.setdefault(report.sender, _PeerRecord())
+        record = self._peers.get(report.sender)
+        if record is None:
+            record = self._peers[report.sender] = _PeerRecord()
         record.last_sent_at = report.sent_at
         record.received_at = now
         echo = report.echoes.get(self.host_id)

@@ -101,62 +101,89 @@ class Attributor:
         self.rates = {
             link: min(max(rates.get(link, 0.0), lo), hi) for link in tree.links
         }
-        self._clean: dict[str, float] = {}
-        self._fill_clean(tree.source)
+        # The DP runs on the tree's frozen integer index: per-node drop
+        # rates, children tuples, and subtree-receiver bitsets replace the
+        # (parent, child)-keyed dict lookups and frozenset algebra of the
+        # per-name implementation.  Children order matches tree order, so
+        # every float multiplication happens in the same order as before.
+        index = tree.index
+        self._index = index
+        names = index.names
+        parent = index.parent
+        self._children = index.children
+        self._subtree_bits = index.subtree_bits
+        self._root = index.ids[tree.source]
+        self._p = [
+            self.rates[(names[parent[i]], name)] if parent[i] >= 0 else 0.0
+            for i, name in enumerate(names)
+        ]
+        clean = [1.0] * index.n
+        for node in index.post_order:
+            weight = 1.0
+            for child in self._children[node]:
+                weight *= clean[child]
+            if parent[node] >= 0:
+                weight *= 1.0 - self._p[node]
+            clean[node] = weight
+        self._clean_by_id = clean
+        #: node name -> clean-subtree weight (kept for the brute-force
+        #: enumerator and for external inspection).
+        self._clean = {name: clean[i] for i, name in enumerate(names)}
         self._cache: dict[frozenset[str], AttributionChoice] = {}
 
-    def _fill_clean(self, node: str) -> float:
-        weight = 1.0
-        for child in self.tree.children(node):
-            weight *= self._fill_clean(child)
-        parent = self.tree.parent(node)
-        if parent is not None:
-            weight *= 1.0 - self.rates[(parent, node)]
-        self._clean[node] = weight
-        return weight
-
     # ------------------------------------------------------------------
-    # Core DP
+    # Core DP (integer kernel)
     # ------------------------------------------------------------------
-    def _weights(self, node: str, pattern: frozenset[str]) -> tuple[float, float]:
-        """Sum-product and max-product weights for the subtree at ``node``
-        (which must not be the root)."""
-        parent = self.tree.parent(node)
-        assert parent is not None
-        p = self.rates[(parent, node)]
-        receivers = self.tree.subtree_receivers(node)
+    def _weights(
+        self, node: int, pattern: int, memo: dict[int, tuple[float, float]]
+    ) -> tuple[float, float]:
+        """Sum-product and max-product weights for the subtree at node id
+        ``node`` (which must not be the root), given the loss-pattern
+        bitset.  ``memo`` caches per-(query, node) results so traceback
+        and sampling reuse the forward pass instead of recomputing it."""
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        p = self._p[node]
+        receivers = self._subtree_bits[node]
         local = receivers & pattern
         if not local:
-            clean = self._clean[node]
-            return clean, clean
-        children = self.tree.children(node)
-        if local == receivers:
+            clean = self._clean_by_id[node]
+            result = (clean, clean)
+        elif local == receivers:
+            children = self._children[node]
             if not children:  # lost leaf: the incoming link must drop
-                return p, p
+                result = (p, p)
+            else:
+                sum_prod = 1.0
+                max_prod = 1.0
+                for child in children:
+                    s, m = self._weights(child, pattern, memo)
+                    sum_prod *= s
+                    max_prod *= m
+                forward = 1.0 - p
+                result = (p + forward * sum_prod, max(p, forward * max_prod))
+        else:
+            # Partial loss: the incoming link must forward.
             sum_prod = 1.0
             max_prod = 1.0
-            for child in children:
-                s, m = self._weights(child, pattern)
+            for child in self._children[node]:
+                s, m = self._weights(child, pattern, memo)
                 sum_prod *= s
                 max_prod *= m
             forward = 1.0 - p
-            return p + forward * sum_prod, max(p, forward * max_prod)
-        # Partial loss: the incoming link must forward.
-        sum_prod = 1.0
-        max_prod = 1.0
-        for child in children:
-            s, m = self._weights(child, pattern)
-            sum_prod *= s
-            max_prod *= m
-        forward = 1.0 - p
-        return forward * sum_prod, forward * max_prod
+            result = (forward * sum_prod, forward * max_prod)
+        memo[node] = result
+        return result
 
     def total_probability(self, pattern: frozenset[str]) -> float:
         """Σ p(c) over every combination producing ``pattern``."""
         self._check_pattern(pattern)
+        bits = self._index.pattern_bits(pattern)
+        memo: dict[int, tuple[float, float]] = {}
         total = 1.0
-        for child in self.tree.children(self.tree.source):
-            total *= self._weights(child, pattern)[0]
+        for child in self._children[self._root]:
+            total *= self._weights(child, bits, memo)[0]
         return total
 
     def best_combination(self, pattern: frozenset[str]) -> AttributionChoice:
@@ -169,77 +196,87 @@ class Attributor:
             choice = AttributionChoice(frozenset(), self.total_probability(pattern), 1.0)
             self._cache[pattern] = choice
             return choice
+        bits = self._index.pattern_bits(pattern)
+        memo: dict[int, tuple[float, float]] = {}
         total = 1.0
         best = 1.0
-        for child in self.tree.children(self.tree.source):
-            s, m = self._weights(child, pattern)
+        root_children = self._children[self._root]
+        for child in root_children:
+            s, m = self._weights(child, bits, memo)
             total *= s
             best *= m
         combo: set[LinkId] = set()
-        for child in self.tree.children(self.tree.source):
-            self._traceback(child, pattern, combo)
+        for child in root_children:
+            self._traceback(child, bits, memo, combo)
         posterior = best / total if total > 0.0 else 0.0
         choice = AttributionChoice(frozenset(combo), best, posterior)
         self._cache[pattern] = choice
         return choice
 
-    def _traceback(self, node: str, pattern: frozenset[str], combo: set[LinkId]) -> None:
-        parent = self.tree.parent(node)
-        assert parent is not None
-        p = self.rates[(parent, node)]
-        receivers = self.tree.subtree_receivers(node)
+    def _traceback(
+        self,
+        node: int,
+        pattern: int,
+        memo: dict[int, tuple[float, float]],
+        combo: set[LinkId],
+    ) -> None:
+        receivers = self._subtree_bits[node]
         local = receivers & pattern
         if not local:
             return
-        children = self.tree.children(node)
+        names = self._index.names
+        children = self._children[node]
         if local == receivers:
+            p = self._p[node]
             if not children:
-                combo.add((parent, node))
+                combo.add((names[self._index.parent[node]], names[node]))
                 return
             max_prod = 1.0
             for child in children:
-                max_prod *= self._weights(child, pattern)[1]
+                max_prod *= self._weights(child, pattern, memo)[1]
             if p >= (1.0 - p) * max_prod:
-                combo.add((parent, node))
+                combo.add((names[self._index.parent[node]], names[node]))
                 return
         for child in children:
-            self._traceback(child, pattern, combo)
+            self._traceback(child, pattern, memo, combo)
 
     def sample_combination(
         self, pattern: frozenset[str], rng: random.Random
     ) -> frozenset[LinkId]:
         """Draw a combination exactly from the posterior over combinations."""
         self._check_pattern(pattern)
+        bits = self._index.pattern_bits(pattern)
+        memo: dict[int, tuple[float, float]] = {}
         combo: set[LinkId] = set()
-        for child in self.tree.children(self.tree.source):
-            self._sample_into(child, pattern, rng, combo)
+        for child in self._children[self._root]:
+            self._sample_into(child, bits, rng, memo, combo)
         return frozenset(combo)
 
     def _sample_into(
         self,
-        node: str,
-        pattern: frozenset[str],
+        node: int,
+        pattern: int,
         rng: random.Random,
+        memo: dict[int, tuple[float, float]],
         combo: set[LinkId],
     ) -> None:
-        parent = self.tree.parent(node)
-        assert parent is not None
-        p = self.rates[(parent, node)]
-        receivers = self.tree.subtree_receivers(node)
+        receivers = self._subtree_bits[node]
         local = receivers & pattern
         if not local:
             return
-        children = self.tree.children(node)
+        names = self._index.names
+        children = self._children[node]
         if local == receivers:
+            p = self._p[node]
             if not children:
-                combo.add((parent, node))
+                combo.add((names[self._index.parent[node]], names[node]))
                 return
-            total, _ = self._weights(node, pattern)
+            total, _ = self._weights(node, pattern, memo)
             if rng.random() < p / total:
-                combo.add((parent, node))
+                combo.add((names[self._index.parent[node]], names[node]))
                 return
         for child in children:
-            self._sample_into(child, pattern, rng, combo)
+            self._sample_into(child, pattern, rng, memo, combo)
 
     # ------------------------------------------------------------------
     # Brute force (tests / tiny trees)

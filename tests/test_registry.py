@@ -112,7 +112,11 @@ class TestPluggability:
             register(original, replace=True)
 
 
+@pytest.mark.filterwarnings("default::DeprecationWarning")
 class TestDeprecatedShim:
+    """The shims are *supposed* to warn: opt out of the suite-wide
+    ``error::DeprecationWarning`` so the warning can be asserted on."""
+
     def test_config_protocols_warns_and_matches_registry(self):
         from repro.harness import config
 

@@ -177,6 +177,23 @@ def test_clear_drops_pending_events():
     assert out == []
 
 
+def test_clear_from_callback_halts_run():
+    # clear() issued from inside a firing callback must stop the drain
+    # loop dead: same-instant siblings and later buckets all vanish.
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, lambda: (out.append("a"), sim.clear()))
+    sim.schedule(1.0, out.append, "sibling")
+    sim.schedule(2.0, out.append, "later")
+    sim.run()
+    assert out == ["a"]
+    assert sim.pending_events == 0
+    # The engine is still usable afterwards.
+    sim.schedule(1.0, out.append, "fresh")
+    sim.run()
+    assert out == ["a", "fresh"]
+
+
 def test_not_reentrant():
     sim = Simulator()
     errors = []
@@ -213,6 +230,60 @@ def test_callback_args_passed_through():
     sim.schedule(1.0, lambda a, b, c: got.append((a, b, c)), 1, "two", [3])
     sim.run()
     assert got == [(1, "two", [3])]
+
+
+def test_earlier_event_scheduled_after_until_break_fires_first():
+    # A run(until=...) break can leave the engine paused on a future
+    # event; anything scheduled before that instant between runs must
+    # still fire first (and the clock must never move backwards).
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(5.0, out.append, "late")
+    sim.schedule(5.0, out.append, "late2")
+    sim.run(until=2.0)
+    times = []
+    sim.schedule_at(3.0, lambda: (out.append("mid"), times.append(sim.now)))
+    sim.run()
+    assert out == ["a", "mid", "late", "late2"]
+    assert times == [3.0]
+    assert sim.now == 5.0
+
+
+def test_max_events_break_keeps_order_for_earlier_inserts():
+    sim = Simulator()
+    out = []
+    for i in range(3):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=1)
+    sim.schedule_at(1.5, out.append, "wedge")
+    sim.run()
+    assert out == [0, "wedge", 1, 2]
+
+
+def test_compact_drops_cancelled_and_preserves_live_order():
+    sim = Simulator()
+    out = []
+    cancelled = [sim.schedule(float(t), out.append, f"dead{t}") for t in (2, 3)]
+    sim.schedule(2.0, out.append, "live2")
+    sim.schedule(4.0, out.append, "live4")
+    for event in cancelled:
+        event.cancel()
+    sim.compact()
+    assert sim.pending_events == 2
+    sim.run()
+    assert out == ["live2", "live4"]
+
+
+def test_schedule_raw_interleaves_with_events_in_call_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "event-first")
+    sim.schedule_raw(1.0, out.append, ("raw",))
+    sim.schedule(1.0, out.append, "event-second")
+    sim.run()
+    assert out == ["event-first", "raw", "event-second"]
+    assert sim.events_processed == 3
 
 
 def test_event_ordering_respects_subsecond_precision():
