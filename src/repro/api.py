@@ -17,6 +17,9 @@ should import from here and nowhere else:
   :func:`sample_plan`, :class:`FaultInjector`;
 * the trace substrate: :func:`synthesize_trace`, :func:`trace_meta`,
   :class:`SynthesisParams`, the §4.2 estimators and :class:`Attributor`;
+* declarative workloads: :func:`compile_workload`, :class:`WorkloadSpec`,
+  :func:`register_workload`, and the generative topology helpers
+  (:func:`build_topology`, :func:`synthesize_topology_trace`);
 * verification and observability hooks, CESRM's cache/policy extension
   points, and the low-level building blocks the multi-source example
   wires by hand (engine, network, metrics).
@@ -93,6 +96,21 @@ from repro.faults import (
     Partition,
     SessionSuppress,
     sample_plan,
+)
+
+# -- workloads: declarative offered-traffic specs -----------------------
+from repro.workloads import (
+    SendEvent,
+    Workload,
+    WorkloadError,
+    WorkloadSpec,
+    all_workload_specs,
+    available_workloads,
+    build_topology,
+    compile_workload,
+    register_workload,
+    synthesize_topology_trace,
+    unregister_workload,
 )
 
 # -- verification, metrics, execution engine ----------------------------
@@ -177,6 +195,18 @@ __all__ = [
     "SessionSuppress",
     "EVENT_TYPES",
     "sample_plan",
+    # workloads
+    "Workload",
+    "WorkloadSpec",
+    "WorkloadError",
+    "SendEvent",
+    "compile_workload",
+    "register_workload",
+    "unregister_workload",
+    "available_workloads",
+    "all_workload_specs",
+    "build_topology",
+    "synthesize_topology_trace",
     # verification + metrics + execution
     "InvariantMonitor",
     "InvariantViolation",

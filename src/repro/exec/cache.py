@@ -59,6 +59,10 @@ class CacheEntry:
     max_packets: int | None
     fingerprint: str
     size_bytes: int
+    #: Workload spec of the stored run; ``""`` for default-schedule runs
+    #: *and* for entries written before workload support existed (the
+    #: pre-workload wire format had no ``workload`` key).
+    workload: str = ""
 
 
 @dataclass
@@ -149,6 +153,7 @@ class RunCache:
                         max_packets=job["trace_max_packets"],
                         fingerprint=payload.get("fingerprint", ""),
                         size_bytes=path.stat().st_size,
+                        workload=job.get("workload", ""),
                     )
                 )
             except (OSError, KeyError, json.JSONDecodeError, TypeError):

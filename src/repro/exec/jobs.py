@@ -45,6 +45,12 @@ class RunJob:
     #: run's identity: it folds into :meth:`key`/:meth:`digest`, but only
     #: when non-empty, so fault-free digests match pre-fault builds.
     faults: FaultPlan = FaultPlan()
+    #: Declarative :mod:`repro.workloads` spec driving the send schedule.
+    #: ``""`` (the wire-format default — pre-workload cache entries decode
+    #: to it) means the legacy source-paced schedule; like ``faults``, it
+    #: folds into :meth:`key`/:meth:`digest` only when non-empty, so
+    #: default-schedule digests match pre-workload builds byte for byte.
+    workload: str = ""
 
     def __post_init__(self) -> None:
         if self.protocol not in available_protocols():
@@ -52,6 +58,15 @@ class RunJob:
                 f"unknown protocol {self.protocol!r}; "
                 f"known: {available_protocols()}"
             )
+        if self.workload:
+            # Validate eagerly so a typo fails at job construction, not in
+            # a pool worker three layers down (mirrors the protocol check).
+            from repro.workloads import WorkloadError, compile_workload
+
+            try:
+                compile_workload(self.workload)
+            except WorkloadError as exc:
+                raise ValueError(str(exc)) from None
 
     # ------------------------------------------------------------------
     # Serialization (the spec must cross process boundaries)
@@ -66,10 +81,14 @@ class RunJob:
         }
         if not self.faults.empty:
             data["faults"] = self.faults.to_dict()
+        if self.workload:
+            data["workload"] = self.workload
         return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunJob":
+        # Wire-format compatibility: entries written before fault/workload
+        # support lack those keys and decode to the empty defaults.
         return cls(
             trace=data["trace"],
             protocol=data["protocol"],
@@ -77,6 +96,7 @@ class RunJob:
             trace_seed=data["trace_seed"],
             trace_max_packets=data["trace_max_packets"],
             faults=FaultPlan.from_dict(data.get("faults", {"events": []})),
+            workload=data.get("workload", ""),
         )
 
     # ------------------------------------------------------------------
@@ -103,23 +123,42 @@ class RunJob:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
+        if self.workload:
+            return f"{self.protocol}/{self.trace}/{self.workload}"
         return f"{self.protocol}/{self.trace}"
+
+
+def synthesize_job_trace(
+    trace: str, seed: int = 0, max_packets: int | None = None
+):
+    """Resolve a job's ``trace`` field: a generative topology spec
+    (``tree:depth=3,fanout=2``) builds its own tree; a plain name is a
+    Table 1 trace.  Deterministic in the arguments."""
+    from repro.traces.synthesize import synthesize_trace
+    from repro.traces.yajnik import trace_meta
+    from repro.workloads import is_topology_spec, synthesize_topology_trace
+
+    if is_topology_spec(trace):
+        return synthesize_topology_trace(trace, seed=seed, max_packets=max_packets)
+    return synthesize_trace(trace_meta(trace), seed=seed, max_packets=max_packets)
 
 
 def execute_job(job: RunJob) -> RunSummary:
     """Synthesize the job's trace and run it — the worker-side entry
     point (deterministic in the job spec)."""
     from repro.harness.runner import run_trace
-    from repro.traces.synthesize import synthesize_trace
-    from repro.traces.yajnik import trace_meta
 
-    synthetic = synthesize_trace(
-        trace_meta(job.trace),
-        seed=job.trace_seed,
-        max_packets=job.trace_max_packets,
+    synthetic = synthesize_job_trace(
+        job.trace, seed=job.trace_seed, max_packets=job.trace_max_packets
     )
     return RunSummary.from_result(
-        run_trace(synthetic, job.protocol, job.config, faults=job.faults)
+        run_trace(
+            synthetic,
+            job.protocol,
+            job.config,
+            faults=job.faults,
+            workload=job.workload or None,
+        )
     )
 
 

@@ -84,6 +84,11 @@ class RunSummary:
     #: form) otherwise, so fault-free summaries stay byte-identical to
     #: pre-fault builds.
     faults: dict[str, Any] | None = None
+    #: Per-workload metrics of a run driven by an explicit
+    #: :mod:`repro.workloads` spec; None (and omitted from the JSON form)
+    #: on default-schedule runs, so those summaries stay byte-identical to
+    #: pre-workload builds.
+    workload: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # RunResult <-> RunSummary
@@ -133,6 +138,7 @@ class RunSummary:
             wall_time=result.wall_time,
             obs=result.obs,
             faults=result.faults,
+            workload=result.workload,
         )
 
     def to_result(self) -> RunResult:
@@ -178,6 +184,7 @@ class RunSummary:
             wall_time=self.wall_time,
             obs=self.obs,
             faults=self.faults,
+            workload=self.workload,
         )
 
     # ------------------------------------------------------------------
@@ -189,6 +196,8 @@ class RunSummary:
             del data["obs"]  # keep untraced summaries byte-stable
         if data["faults"] is None:
             del data["faults"]  # likewise for fault-free summaries
+        if data["workload"] is None:
+            del data["workload"]  # likewise for default-schedule runs
         return data
 
     @classmethod

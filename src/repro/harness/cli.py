@@ -15,6 +15,9 @@ single protocol/trace pair:
     $ cesrm faults --sample --out plan.json
     $ cesrm faults --faults plan.json --protocol cesrm
     $ cesrm protocols
+    $ cesrm workloads
+    $ cesrm run --workload zipf:alpha=1.1,objects=500
+    $ cesrm run --trace tree:depth=3,fanout=4 --workload flash_crowd:peak=20x
     $ cesrm all --jobs 8
     $ cesrm cache
     $ cesrm cache --clear
@@ -29,6 +32,17 @@ byte-identical results.  ``cesrm faults`` describes a plan and reports
 the injected faults next to the recovery outcome; ``cesrm protocols``
 lists every protocol in the pluggable registry
 (:mod:`repro.harness.registry`).
+
+Workloads (:mod:`repro.workloads`): ``--workload SPEC`` drives any
+command's send schedule with a declarative workload instead of the
+default source-paced replay — ``zipf:alpha=1.1,objects=500``,
+``flash_crowd:peak=20x,ramp=5s``, ``multi_source:senders=4``, ... —
+and ``--trace tree:depth=3,fanout=4`` runs over a generative topology
+instead of a Yajnik receiver set.  ``cesrm workloads`` lists the
+registered families and their parameters.  Workload and topology specs
+fold into the run-cache digests, so every combination caches
+independently; the default (no ``--workload``) stays byte-identical to
+pre-workload builds.
 
 The ``trace`` command (and ``run`` with ``--trace-out``/``--profile``)
 attaches the :mod:`repro.obs` instrumentation: it records the run's full
@@ -76,10 +90,44 @@ COMMANDS = (
     "trace",
     "faults",
     "protocols",
+    "workloads",
     "cache",
     "bench",
     "all",
 )
+
+
+def _trace_arg(value: str) -> str:
+    """``--trace`` accepts a Yajnik trace name or a generative topology
+    spec (``tree:depth=3,fanout=4``)."""
+    from repro.workloads import WorkloadError, is_topology_spec, parse_topology_spec
+
+    if value in {m.name for m in YAJNIK_TRACES}:
+        return value
+    if is_topology_spec(value):
+        try:
+            parse_topology_spec(value)
+        except WorkloadError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown trace {value!r}: expected a Yajnik name "
+        f"({', '.join(m.name for m in YAJNIK_TRACES[:3])}, ...) or a "
+        f"topology spec like tree:depth=3,fanout=4"
+    )
+
+
+def _workload_arg(value: str) -> str:
+    """``--workload`` validates eagerly so typos fail at parse time."""
+    from repro.workloads import WorkloadError, compile_workload
+
+    if not value:
+        return value
+    try:
+        compile_workload(value)
+    except WorkloadError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,8 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace",
         default="WRN951113",
-        choices=[m.name for m in YAJNIK_TRACES],
-        help="trace for the `run` command",
+        type=_trace_arg,
+        help="trace for the `run` command: a Yajnik name or a topology "
+        "spec like tree:depth=3,fanout=4",
+    )
+    parser.add_argument(
+        "--workload",
+        default="",
+        type=_workload_arg,
+        metavar="SPEC",
+        help="drive the send schedule with a repro.workloads spec, e.g. "
+        "zipf:alpha=1.1,objects=500 (default: the source-paced schedule; "
+        "`cesrm workloads` lists the families)",
     )
     parser.add_argument(
         "--protocol",
@@ -254,6 +312,7 @@ def _context(args: argparse.Namespace) -> exp.ExperimentContext:
         cache=_cache(args),
         progress=progress,
         faults=_fault_plan(args),
+        workload=getattr(args, "workload", ""),
     )
     if getattr(args, "verify", False):
         ctx.config = ctx.config.with_(verify_period=0.05)
@@ -333,6 +392,8 @@ def main(argv: list[str] | None = None) -> int:
         out.append(_faults_command(args, ctx))
     if args.command == "protocols":
         out.append(_protocols_command())
+    if args.command == "workloads":
+        out.append(_workloads_command())
 
     print("\n\n".join(out))
     cache = ctx.engine.cache
@@ -452,9 +513,10 @@ def _cache_command(args: argparse.Namespace) -> str:
     for entry in entries:
         marker = "ok " if entry.fingerprint == fingerprint else "old"
         cap = "full" if entry.max_packets is None else entry.max_packets
+        workload = f" workload={entry.workload}" if entry.workload else ""
         lines.append(
             f"  [{marker}] {entry.protocol:>12} {entry.trace:<10} "
-            f"seed={entry.seed} cap={cap} ({entry.size_bytes} B)"
+            f"seed={entry.seed} cap={cap}{workload} ({entry.size_bytes} B)"
         )
     return "\n".join(lines)
 
@@ -533,6 +595,7 @@ def _traced_run(args: argparse.Namespace, ctx: exp.ExperimentContext):
     result = _run_trace(
         ctx.trace(args.trace), args.protocol, ctx.config,
         tracer=tracer, profiler=profiler, faults=ctx.faults,
+        workload=ctx.workload or None,
     )
     return result, ring, profiler
 
@@ -631,6 +694,24 @@ def _protocols_command() -> str:
     return "\n".join(lines)
 
 
+def _workloads_command() -> str:
+    """List every workload family the registry knows, with parameters."""
+    from repro.workloads import all_workload_specs
+
+    lines = ["registered workloads (cesrm run --workload <family>[:k=v,...]):"]
+    for spec in all_workload_specs():
+        suffix = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
+        lines.append(f"  {spec.name:>14s}  {spec.description}{suffix}")
+        for key, doc in spec.params_doc.items():
+            lines.append(f"  {'':>14s}    {key}: {doc}")
+    lines.append("")
+    lines.append(
+        "topology specs (the --trace slot): tree:depth=D,fanout=F"
+        "[,loss=0.05,period=0.08,packets=1000]"
+    )
+    return "\n".join(lines)
+
+
 def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
     traced = bool(args.trace_out or args.profile)
     if traced:
@@ -654,6 +735,20 @@ def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
             f"replies={result.metrics.expedited_replies_sent}, "
             f"success={100 * result.metrics.expedited_success_rate:.0f}%"
         )
+    if result.workload is not None:
+        w = result.workload
+        line = (
+            f"  workload {w['spec']}: {w['events']} events from "
+            f"{len(w['senders'])} sender(s), "
+            f"{w['offered_load_pps']:.1f} pkt/s offered, "
+            f"expedited fraction {100 * w['expedited_fraction']:.0f}%"
+        )
+        if "latency_p50" in w:
+            line += (
+                f", recovery p50/p90/p99 = {w['latency_p50'] * 1000:.0f}/"
+                f"{w['latency_p90'] * 1000:.0f}/{w['latency_p99'] * 1000:.0f} ms"
+            )
+        lines.append(line)
     if traced:
         if args.trace_out:
             lines.append(f"  event stream written to {args.trace_out}")

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.exec.cache import RunCache
-from repro.exec.jobs import RunJob
+from repro.exec.jobs import RunJob, synthesize_job_trace
 from repro.exec.pool import ExecutionEngine
 from repro.exec.summary import RunSummary
 from repro.faults import FaultPlan
@@ -38,8 +38,7 @@ from repro.harness.config import SimulationConfig
 from repro.harness.runner import RunResult, run_trace
 from repro.metrics.stats import mean
 from repro.traces.model import SyntheticTrace
-from repro.traces.synthesize import synthesize_trace
-from repro.traces.yajnik import FIGURE_TRACES, YAJNIK_TRACES, trace_meta
+from repro.traces.yajnik import FIGURE_TRACES, YAJNIK_TRACES
 
 #: Default per-trace replay length for experiments (None = full trace).
 DEFAULT_MAX_PACKETS: int | None = 3000
@@ -74,12 +73,19 @@ class ExperimentContext:
         cache: RunCache | None = None,
         progress=None,
         faults: FaultPlan | None = None,
+        workload: str = "",
     ) -> None:
         if max_packets == "default":
             max_packets = default_max_packets()
         self.max_packets = max_packets  # type: ignore[assignment]
         self.seed = seed
         self.faults = faults if faults is not None else FaultPlan()
+        self.workload = workload
+        if workload:
+            # Fail on the driving process, before any jobs are built.
+            from repro.workloads import compile_workload
+
+            compile_workload(workload)
         self.config = (config or SimulationConfig()).with_(
             seed=seed, max_packets=self.max_packets
         )
@@ -90,8 +96,8 @@ class ExperimentContext:
     def trace(self, name: str) -> SyntheticTrace:
         cached = self._traces.get(name)
         if cached is None:
-            cached = synthesize_trace(
-                trace_meta(name), seed=self.seed, max_packets=self.max_packets
+            cached = synthesize_job_trace(
+                name, seed=self.seed, max_packets=self.max_packets
             )
             self._traces[name] = cached
         return cached
@@ -107,6 +113,7 @@ class ExperimentContext:
             trace_seed=self.seed,
             trace_max_packets=self.max_packets,
             faults=self.faults,
+            workload=self.workload,
         )
 
     def _execute_local(self, job: RunJob) -> RunSummary:
@@ -117,13 +124,17 @@ class ExperimentContext:
         ):
             synthetic = self.trace(job.trace)
         else:  # pragma: no cover - jobs are always built via self.job()
-            synthetic = synthesize_trace(
-                trace_meta(job.trace),
-                seed=job.trace_seed,
-                max_packets=job.trace_max_packets,
+            synthetic = synthesize_job_trace(
+                job.trace, seed=job.trace_seed, max_packets=job.trace_max_packets
             )
         return RunSummary.from_result(
-            run_trace(synthetic, job.protocol, job.config, faults=job.faults)
+            run_trace(
+                synthetic,
+                job.protocol,
+                job.config,
+                faults=job.faults,
+                workload=job.workload or None,
+            )
         )
 
     def prefetch(self, specs: Iterable[RunSpec]) -> None:

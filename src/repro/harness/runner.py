@@ -62,6 +62,11 @@ class RunResult:
     #: :class:`~repro.faults.FaultPlan`; None on a fault-free run (keeping
     #: fault-free summaries byte-identical to builds without fault support).
     faults: dict | None = None
+    #: Per-workload metrics (offered load, expedited fraction, recovery
+    #: latency percentiles) when the run was driven by an explicit
+    #: :mod:`repro.workloads` spec; None on a default-schedule run (keeping
+    #: those summaries byte-identical to builds without workload support).
+    workload: dict | None = None
 
     # ------------------------------------------------------------------
     # Figure-level derived quantities
@@ -137,6 +142,8 @@ class Simulation:
     fabric: Any | None = None
     monitor: InvariantMonitor | None = None
     faults: FaultInjector | None = None
+    workload: Any | None = None
+    send_events: tuple = ()
 
 
 def build_simulation(
@@ -146,6 +153,7 @@ def build_simulation(
     tracer=None,
     profiler=None,
     faults: FaultPlan | None = None,
+    workload=None,
 ) -> Simulation:
     """Wire up engine, network, loss injection, and agents for one run.
 
@@ -159,6 +167,10 @@ def build_simulation(
     of a run's identity and folds into :class:`~repro.exec.jobs.RunJob`
     digests instead (an empty/None plan leaves the run byte-identical to a
     plan-less build).
+    ``workload`` is an optional :mod:`repro.workloads` spec string or
+    compiled :class:`~repro.workloads.Workload`; like ``faults`` it is part
+    of the run's identity, and ``None`` takes the original hard-coded
+    source-paced schedule, byte for byte.
     """
     spec = get_spec(protocol)
     plan = faults if faults is not None else FaultPlan()
@@ -213,18 +225,37 @@ def build_simulation(
         offset = (index + 0.5) * config.session_period / (len(hosts) + 1)
         agents[host].start(session_offset=offset)
 
-    # Schedule the whole data transmission.
+    # Schedule the whole data transmission: the legacy source-paced
+    # schedule when no workload is given (kept verbatim — its floats are
+    # golden-digest material), else the compiled workload's event stream.
     t0 = config.transmission_start
     source_agent = agents[tree.source]
-    for seq in range(trace.n_packets):
-        sim.schedule_at(t0 + seq * trace.period, source_agent.send_data, seq)
+    workload_obj = None
+    send_events: tuple = ()
+    if workload is None:
+        for seq in range(trace.n_packets):
+            sim.schedule_at(t0 + seq * trace.period, source_agent.send_data, seq)
+        end_of_data = trace.n_packets * trace.period
+    else:
+        from repro.workloads import (
+            compile_workload,
+            events_horizon,
+            schedule_events,
+        )
+
+        workload_obj = (
+            compile_workload(workload) if isinstance(workload, str) else workload
+        )
+        send_events = workload_obj.events(trace, config.seed)
+        schedule_events(sim, agents, send_events, t0)
+        end_of_data = events_horizon(send_events, trace.period)
 
     monitor = None
     if config.verify_period is not None:
         monitor = InvariantMonitor(sim, agents, period=config.verify_period)
         monitor.start()
 
-    end_time = t0 + trace.n_packets * trace.period + config.drain_time
+    end_time = t0 + end_of_data + config.drain_time
     injector.install(
         agents, end_time=end_time, on_host_crash=spec.crash_callback(fabric)
     )
@@ -240,6 +271,8 @@ def build_simulation(
         fabric=fabric,
         monitor=monitor,
         faults=injector,
+        workload=workload_obj,
+        send_events=send_events,
     )
 
 
@@ -250,12 +283,14 @@ def run_trace(
     tracer=None,
     profiler=None,
     faults: FaultPlan | None = None,
+    workload=None,
 ) -> RunResult:
     """Run one protocol over one trace and collect the paper's metrics."""
     config = config or SimulationConfig()
     wall_start = _time.perf_counter()
     simulation = build_simulation(
-        synthetic, protocol, config, tracer=tracer, profiler=profiler, faults=faults
+        synthetic, protocol, config, tracer=tracer, profiler=profiler,
+        faults=faults, workload=workload,
     )
     sim = simulation.sim
     sim.run(until=simulation.end_time)
@@ -309,6 +344,19 @@ def run_trace(
             if simulation.faults is not None and not simulation.faults.plan.empty
             else None
         ),
+        workload=(
+            _workload_stats(simulation, metrics)
+            if simulation.workload is not None
+            else None
+        ),
+    )
+
+
+def _workload_stats(simulation: Simulation, metrics: MetricsCollector) -> dict:
+    from repro.workloads import workload_run_stats
+
+    return workload_run_stats(
+        simulation.workload, simulation.send_events, metrics, simulation.trace.trace
     )
 
 

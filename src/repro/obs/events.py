@@ -57,6 +57,9 @@ class EventKind:
     ERQST_SUPPRESSED = "erqst.suppressed"    # replier's SRM reply already pending
     EREPL_SENT = "erepl.sent"
 
+    # -- workload generation (repro.workloads) -------------------------
+    WORKLOAD_SEND = "workload.send"  # a workload event fired (obj in detail)
+
     # -- fault injection (repro.faults) --------------------------------
     FAULT_LINK_DOWN = "fault.link-down"
     FAULT_LINK_UP = "fault.link-up"

@@ -173,6 +173,36 @@ def synthesize_trace(
     tree = build_random_tree(
         params.n_receivers, params.tree_depth, registry.stream("topology")
     )
+    return _synthesize_with_registry(params, tree, registry)
+
+
+def synthesize_on_tree(
+    tree: MulticastTree,
+    params: SynthesisParams,
+    seed: int = 0,
+) -> SyntheticTrace:
+    """Synthesize a trace over a *given* tree (generative topologies).
+
+    Same loss machinery and stream discipline as :func:`synthesize_trace`
+    — only the topology step is skipped, so ``params.n_receivers`` /
+    ``params.tree_depth`` are taken from the tree, not drawn.
+    Deterministic in ``(tree, params, seed)``.
+    """
+    registry = RngRegistry(seed).fork(f"trace:{params.name}")
+    return _synthesize_with_registry(params, tree, registry)
+
+
+def _synthesize_with_registry(
+    params: SynthesisParams,
+    tree: MulticastTree,
+    registry: RngRegistry,
+) -> SyntheticTrace:
+    """The calibrate/sample/re-adjust loop shared by both entry points.
+
+    Stream names and draw order are part of the determinism contract:
+    ``propensities`` then ``sample:{attempt}``, exactly as the original
+    single-function implementation consumed them.
+    """
     propensities = raw_link_propensities(
         tree, registry.stream("propensities"), params.hot_link_fraction
     )

@@ -1,0 +1,285 @@
+"""The pluggable workload registry and spec-string grammar.
+
+A *workload* decides when each data packet is multicast and by whom —
+the offered-traffic side of an experiment, orthogonal to the protocol,
+the topology, and the fault plan.  Every workload family the harness can
+run is described by one :class:`WorkloadSpec` (mirroring
+:class:`~repro.harness.registry.ProtocolSpec`): a factory that turns the
+family's parameters into a deterministic generator of
+:class:`SendEvent`\\ s.  The spec-string grammar is::
+
+    family[:key=value[,key=value...]]
+
+e.g. ``zipf:alpha=1.1,objects=500``, ``flash_crowd:peak=20x,ramp=5s``,
+``multi_source:senders=4``, or a single positional value where the
+family takes one (``trace:WRN951128``).  :func:`compile_workload` parses
+and validates a spec string into a :class:`Workload`, whose
+:meth:`~Workload.events` method materializes the seeded event stream for
+a concrete trace.
+
+Determinism contract: event generation draws from one
+:class:`~repro.sim.rng.RngRegistry` stream derived from
+``(seed, trace name, canonical spec)`` and nothing else, so the same
+spec + seed yields the identical stream for every protocol — workloads
+offer the *same* traffic to SRM and CESRM — and registering new families
+never perturbs existing ones (name-isolated streams).
+
+A new family plugs in with one call:
+
+.. code-block:: python
+
+    from repro.workloads import WorkloadSpec, register_workload
+
+    register_workload(WorkloadSpec(name="my-burst", factory=my_factory))
+
+where ``my_factory(params)`` validates the raw parameter mapping and
+returns a ``generate(trace, rng)`` callable yielding :class:`SendEvent`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.sim.rng import RngRegistry
+from repro.traces.model import LossTrace
+
+#: ``generate(trace, rng)`` — yields the send events of one run.
+Generator = Callable[[LossTrace, random.Random], Iterable["SendEvent"]]
+
+#: ``factory(params)`` — validates raw parameters, returns a generator.
+GeneratorFactory = Callable[[Mapping[str, str]], Generator]
+
+
+class WorkloadError(ValueError):
+    """Raised for malformed spec strings, unknown families or parameters,
+    and generators that emit invalid event streams."""
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """One data-packet transmission requested by a workload.
+
+    ``time`` is the offset from the run's ``transmission_start``;
+    ``sender`` names the multicasting host (the tree source or any
+    receiver — SRM is any-source); ``seqno`` is the sender-local sequence
+    number; ``obj`` tags the application object the packet belongs to
+    (popularity-driven families use it, constant-rate ones leave it 0).
+    """
+
+    time: float
+    sender: str
+    seqno: int
+    obj: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the harness needs to run one workload family."""
+
+    #: Registry name (the spec string's ``family`` part).
+    name: str
+    #: Builds a generator from the raw ``key=value`` parameter mapping;
+    #: must raise :class:`WorkloadError` on unknown keys or bad values.
+    factory: GeneratorFactory
+    #: One-line description for ``cesrm workloads`` listings.
+    description: str = ""
+    #: Documented parameters: ``name -> "default — meaning"``.
+    params_doc: Mapping[str, str] = field(default_factory=dict)
+    #: Extra metadata for listings and experiments.
+    tags: tuple[str, ...] = field(default=())
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec:
+    """Add ``spec`` to the registry.  Re-registering an existing name is an
+    error unless ``replace=True`` (tests swapping in doubles)."""
+    if not replace and spec.name in _REGISTRY:
+        raise WorkloadError(f"workload {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload family (primarily for tests cleaning up doubles)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_workload_spec(name: str) -> WorkloadSpec:
+    """The spec registered under ``name``; raises :class:`WorkloadError`
+    (with the known names) otherwise."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {available_workloads()}"
+        )
+    return spec
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Registered workload family names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_workload_specs() -> tuple[WorkloadSpec, ...]:
+    return tuple(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Spec-string grammar
+# ----------------------------------------------------------------------
+#: The parameter key a bare (``key=``-less) token is stored under; a
+#: family taking one positional value reads it from here.
+POSITIONAL = ""
+
+
+def parse_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """``family:key=value,...`` -> ``(family, params)``.
+
+    A single bare token (no ``=``) is allowed as a positional value and
+    stored under :data:`POSITIONAL`; everything else must be ``key=value``.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise WorkloadError("empty workload spec")
+    family, sep, rest = spec.partition(":")
+    family = family.strip()
+    if not family:
+        raise WorkloadError(f"workload spec {spec!r} has no family name")
+    if sep and not rest.strip():
+        raise WorkloadError(f"workload spec {spec!r} has a trailing ':'")
+    params: dict[str, str] = {}
+    if rest.strip():
+        for token in rest.split(","):
+            token = token.strip()
+            if not token:
+                raise WorkloadError(f"empty parameter in workload spec {spec!r}")
+            key, eq, value = token.partition("=")
+            key, value = key.strip(), value.strip()
+            if not eq:
+                if POSITIONAL in params:
+                    raise WorkloadError(
+                        f"workload spec {spec!r} has more than one positional value"
+                    )
+                params[POSITIONAL] = key
+                continue
+            if not key or not value:
+                raise WorkloadError(
+                    f"malformed parameter {token!r} in workload spec {spec!r}"
+                )
+            if key in params:
+                raise WorkloadError(
+                    f"duplicate parameter {key!r} in workload spec {spec!r}"
+                )
+            params[key] = value
+    return family, params
+
+
+def canonical_spec(family: str, params: Mapping[str, str]) -> str:
+    """The normalized spec string: family, then parameters sorted by key
+    (a positional value sorts first, rendered bare)."""
+    if not params:
+        return family
+    parts = []
+    for key in sorted(params):
+        value = params[key]
+        parts.append(value if key == POSITIONAL else f"{key}={value}")
+    return f"{family}:{','.join(parts)}"
+
+
+class Workload:
+    """A compiled workload: a validated family + parameters pair that can
+    materialize its deterministic event stream for any trace."""
+
+    def __init__(self, name: str, params: Mapping[str, str], generate: Generator):
+        self.name = name
+        self.params = dict(params)
+        self._generate = generate
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string (what digests and summaries record)."""
+        return canonical_spec(self.name, self.params)
+
+    def events(self, trace: LossTrace, seed: int = 0) -> tuple[SendEvent, ...]:
+        """The full, validated event stream for ``trace`` under ``seed``.
+
+        Deterministic in ``(spec, trace, seed)``: the generator's only
+        entropy source is a registry stream named by the canonical spec
+        under a ``workload:<trace>`` fork, so it is isolated from every
+        agent/synthesis stream by construction.
+        """
+        rng = RngRegistry(seed).fork(f"workload:{trace.name}").stream(self.spec)
+        events = tuple(self._generate(trace, rng))
+        _validate_events(events, trace, self.spec)
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Workload({self.spec!r})"
+
+
+def compile_workload(spec: str) -> Workload:
+    """Parse and validate ``spec`` into a :class:`Workload` (the single
+    validation point — :class:`~repro.exec.jobs.RunJob` and the CLI both
+    call this, so a typo fails before any simulation starts)."""
+    family, params = parse_spec(spec)
+    ws = get_workload_spec(family)
+    generate = ws.factory(dict(params))
+    return Workload(family, params, generate)
+
+
+def _validate_events(
+    events: tuple[SendEvent, ...], trace: LossTrace, spec: str
+) -> None:
+    """Reject streams the protocol stack cannot recover: unknown senders,
+    negative/NaN times, and per-sender sequence gaps (a skipped seqno
+    would register as a permanently unrepairable loss at every receiver).
+    """
+    if not events:
+        raise WorkloadError(f"workload {spec!r} generated no events")
+    hosts = set(trace.tree.hosts)
+    per_sender: dict[str, set[int]] = {}
+    for ev in events:
+        if ev.sender not in hosts:
+            raise WorkloadError(
+                f"workload {spec!r} uses unknown sender {ev.sender!r}"
+            )
+        if not math.isfinite(ev.time) or ev.time < 0.0:
+            raise WorkloadError(
+                f"workload {spec!r} scheduled an event at invalid time {ev.time!r}"
+            )
+        seen = per_sender.setdefault(ev.sender, set())
+        if ev.seqno in seen:
+            raise WorkloadError(
+                f"workload {spec!r} repeats seqno {ev.seqno} at {ev.sender!r}"
+            )
+        seen.add(ev.seqno)
+    for sender, seqnos in per_sender.items():
+        if seqnos != set(range(len(seqnos))):
+            raise WorkloadError(
+                f"workload {spec!r} leaves sequence gaps at {sender!r} "
+                f"(seqnos must cover 0..{len(seqnos) - 1})"
+            )
+
+
+__all__ = [
+    "Generator",
+    "GeneratorFactory",
+    "POSITIONAL",
+    "SendEvent",
+    "Workload",
+    "WorkloadError",
+    "WorkloadSpec",
+    "all_workload_specs",
+    "available_workloads",
+    "canonical_spec",
+    "compile_workload",
+    "get_workload_spec",
+    "parse_spec",
+    "register_workload",
+    "unregister_workload",
+]

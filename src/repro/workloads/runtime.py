@@ -1,0 +1,98 @@
+"""Runner-side glue: scheduling a workload and summarizing what it did.
+
+Kept separate from the registry so :mod:`repro.harness.runner` imports
+one narrow seam.  :func:`schedule_events` turns the compiled stream into
+engine callbacks (emitting :data:`~repro.obs.events.EventKind.WORKLOAD_SEND`
+on traced runs so a timeline reader can see the generation alongside the
+recovery it caused); :func:`workload_run_stats` reduces the run into the
+per-workload metrics block :class:`~repro.exec.summary.RunSummary`
+records: offered load, expedited fraction, recovery-latency percentiles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.stats import percentile
+from repro.workloads.registry import SendEvent, Workload, WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import MetricsCollector
+    from repro.sim.engine import Simulator
+    from repro.srm.agent import SrmAgent
+    from repro.traces.model import LossTrace
+
+
+def _workload_send(sim: "Simulator", agent: "SrmAgent", event: SendEvent) -> None:
+    """One scheduled workload transmission (engine callback)."""
+    if sim.tracer is not None:
+        from repro.obs.events import EventKind
+
+        sim.tracer.emit(
+            sim.now,
+            EventKind.WORKLOAD_SEND,
+            node=agent.host_id,
+            source=agent.host_id,
+            seqno=event.seqno,
+            obj=event.obj,
+        )
+    agent.send_data(event.seqno)
+
+
+def schedule_events(
+    sim: "Simulator",
+    agents: dict[str, "SrmAgent"],
+    events: tuple[SendEvent, ...],
+    t0: float,
+) -> None:
+    """Schedule every workload event at ``t0 + event.time``."""
+    for event in events:
+        agent = agents.get(event.sender)
+        if agent is None:  # defense in depth; compile already validated
+            raise WorkloadError(f"no agent at workload sender {event.sender!r}")
+        sim.schedule_at(t0 + event.time, _workload_send, sim, agent, event)
+
+
+def events_horizon(events: tuple[SendEvent, ...], period: float) -> float:
+    """The data phase's length: the last transmission plus one period
+    (mirrors the legacy ``n_packets * period`` end-of-data point)."""
+    if not events:
+        return 0.0
+    return max(event.time for event in events) + period
+
+
+def workload_run_stats(
+    workload: Workload,
+    events: tuple[SendEvent, ...],
+    metrics: "MetricsCollector",
+    trace: "LossTrace",
+) -> dict:
+    """The ``RunSummary.workload`` block for one completed run."""
+    senders = sorted({event.sender for event in events})
+    duration = events_horizon(events, trace.period)
+    records = metrics.all_recoveries()
+    latencies = sorted(record.latency for record in records)
+    expedited = sum(1 for record in records if record.expedited)
+    stats: dict = {
+        "spec": workload.spec,
+        "family": workload.name,
+        "events": len(events),
+        "senders": senders,
+        "objects": len({event.obj for event in events}),
+        "duration": duration,
+        "offered_load_pps": (len(events) / duration) if duration > 0 else 0.0,
+        "recoveries": len(records),
+        "expedited_fraction": (expedited / len(records)) if records else 0.0,
+    }
+    if latencies:
+        stats["latency_p50"] = percentile(latencies, 50)
+        stats["latency_p90"] = percentile(latencies, 90)
+        stats["latency_p99"] = percentile(latencies, 99)
+    return stats
+
+
+__all__ = [
+    "events_horizon",
+    "schedule_events",
+    "workload_run_stats",
+]

@@ -352,6 +352,117 @@ class TestExecIntegration:
         assert "entries: 0" in capsys.readouterr().out
 
 
+class TestWorkloads:
+    def test_parser_accepts_workload(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "zipf:alpha=1.1,objects=64"]
+        )
+        assert args.workload == "zipf:alpha=1.1,objects=64"
+
+    def test_bad_workload_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope:x=1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "zipf:alpa=1"])
+
+    def test_parser_accepts_topology_trace(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "tree:depth=3,fanout=2"]
+        )
+        assert args.trace == "tree:depth=3,fanout=2"
+
+    def test_bad_topology_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace", "tree:depth=0"])
+
+    def test_workloads_command_lists_families(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for family in ("cbr", "poisson", "zipf", "flash_crowd", "diurnal",
+                       "multi_source", "trace"):
+            assert family in out
+        assert "tree:depth" in out  # topology grammar footer
+
+    def test_run_with_workload_prints_stats(self, capsys):
+        assert main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--protocol",
+                "cesrm",
+                "--max-packets",
+                "300",
+                "--workload",
+                "multi_source:senders=3",
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workload multi_source:senders=3" in out
+        assert "senders" in out
+
+    def test_run_on_generative_topology(self, capsys):
+        assert main(
+            [
+                "run",
+                "--trace",
+                "tree:depth=2,fanout=2",
+                "--protocol",
+                "srm",
+                "--max-packets",
+                "200",
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "srm on tree:depth=2,fanout=2" in out
+
+    def test_workload_composes_with_faults(self, capsys, tmp_path):
+        """The ISSUE's acceptance command: workload + fault plan + cesrm."""
+        from repro.faults import sample_plan
+
+        plan_path = tmp_path / "plan.json"
+        sample_plan().save(plan_path)
+        assert main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--protocol",
+                "cesrm",
+                "--max-packets",
+                "300",
+                "--workload",
+                "zipf:alpha=1.1",
+                "--faults",
+                str(plan_path),
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workload zipf:alpha=1.1" in out
+
+    def test_cache_listing_shows_workload(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(
+            [
+                "run",
+                "--trace",
+                "WRN951216",
+                "--max-packets",
+                "300",
+                "--workload",
+                "poisson",
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "workload=poisson" in capsys.readouterr().out
+
+
 class TestBenchCommand:
     def test_parser_collects_suite_names(self):
         args = build_parser().parse_args(["bench", "kernel", "obs"])

@@ -83,6 +83,58 @@ class TestInvalidation:
         assert cache.stats.invalidations == 1
 
 
+class TestMigration:
+    """Entries written before the workload field existed keep working."""
+
+    def test_pre_workload_payload_reads_back(self, cache):
+        # hand-write the exact pre-workload on-disk shape: a job dict
+        # with no "workload" key
+        cache.runs_dir.mkdir(parents=True, exist_ok=True)
+        job_dict = JOB.to_dict()
+        assert "workload" not in job_dict
+        path = cache.runs_dir / f"{JOB.key()}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "digest": JOB.digest(FP),
+                    "fingerprint": FP,
+                    "job": job_dict,
+                    "summary": SUMMARY,
+                }
+            )
+        )
+        assert cache.get(JOB, FP) == SUMMARY  # same slot, still a hit
+        [entry] = cache.entries()
+        assert entry.workload == ""  # missing key decodes to the default
+
+    def test_workload_entry_listed_with_spec(self, cache):
+        workload_job = RunJob(
+            "WRN951113",
+            "cesrm",
+            CFG,
+            trace_seed=0,
+            trace_max_packets=200,
+            workload="zipf:alpha=1.1",
+        )
+        cache.put(workload_job, FP, SUMMARY)
+        [entry] = cache.entries()
+        assert entry.workload == "zipf:alpha=1.1"
+
+    def test_workload_and_default_use_distinct_slots(self, cache):
+        workload_job = RunJob(
+            "WRN951113",
+            "cesrm",
+            CFG,
+            trace_seed=0,
+            trace_max_packets=200,
+            workload="poisson",
+        )
+        cache.put(JOB, FP, SUMMARY)
+        cache.put(workload_job, FP, {"other": 1})
+        assert cache.get(JOB, FP) == SUMMARY
+        assert cache.get(workload_job, FP) == {"other": 1}
+
+
 class TestMaintenance:
     def test_entries_listing(self, cache):
         cache.put(JOB, FP, SUMMARY)
@@ -93,6 +145,7 @@ class TestMaintenance:
         assert entry.max_packets == 200
         assert entry.fingerprint == FP
         assert entry.size_bytes > 0
+        assert entry.workload == ""
 
     def test_size_bytes(self, cache):
         assert cache.size_bytes() == 0

@@ -57,6 +57,25 @@ class TestKey:
         # an empty plan must not perturb the cache key of existing runs
         assert job().key() == job(faults=FaultPlan()).key()
 
+    def test_differs_by_workload(self):
+        assert job().key() != job(workload="zipf:alpha=1.1").key()
+        assert (
+            job(workload="zipf:alpha=1.1").key()
+            != job(workload="poisson").key()
+        )
+
+    def test_empty_workload_matches_legacy_key(self):
+        # the default workload must not perturb pre-workload cache keys
+        assert job().key() == job(workload="").key()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            job(workload="nope:x=1")
+
+    def test_malformed_workload_rejected(self):
+        with pytest.raises(ValueError):
+            job(workload="zipf:")
+
 
 class TestDigest:
     def test_folds_in_fingerprint(self):
@@ -85,6 +104,27 @@ class TestSerialization:
         restored = RunJob.from_dict(data)
         assert restored == original
         assert restored.faults == CRASH_PLAN
+
+    def test_default_dict_omits_workload(self):
+        # the wire format of pre-workload jobs is preserved byte for byte
+        assert "workload" not in job().to_dict()
+
+    def test_workload_round_trip(self):
+        original = job(workload="zipf:alpha=1.1,objects=32")
+        data = original.to_dict()
+        assert data["workload"] == "zipf:alpha=1.1,objects=32"
+        restored = RunJob.from_dict(data)
+        assert restored == original
+        assert restored.key() == original.key()
+
+    def test_pre_workload_dict_still_decodes(self):
+        """Wire-format versioning: entries serialized before the workload
+        field existed (no ``workload`` key) decode to the default."""
+        data = job().to_dict()
+        assert "workload" not in data  # genuinely the old shape
+        restored = RunJob.from_dict(data)
+        assert restored.workload == ""
+        assert restored == job()
 
 
 class TestSourceFingerprint:
