@@ -1,0 +1,73 @@
+"""Sweep scheduler throughput: cold fan-out vs fully-cached resume.
+
+Runs the CI smoke grid (8 jobs, 400 packets each) twice against a
+throwaway cache/store: the first pass simulates everything through the
+chunked work-stealing pool path, the second is a pure resume — every
+job is a cache hit, nothing recomputes.  Records, per pass, jobs/sec
+and the wall time, plus the resume speedup (warm must beat cold by a
+wide margin or resumability isn't buying anything).  Results go to
+``BENCH_sweep.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.exec.cache import RunCache
+from repro.exec.pool import ExecutionEngine
+from repro.sweep import SweepStore, load_sweep, run_sweep
+
+from benchmarks.conftest import bench_jobs
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_sweep.json"
+SPEC_PATH = Path(__file__).parent.parent / "examples" / "smoke_grid.toml"
+
+
+def _pass(spec, cache_dir, store_path, jobs):
+    engine = ExecutionEngine(jobs=jobs, cache=RunCache(cache_dir))
+    with SweepStore(store_path) as store:
+        started = time.perf_counter()
+        report = run_sweep(spec, engine=engine, store=store)
+        elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+def test_sweep_throughput(tmp_path):
+    spec = load_sweep(SPEC_PATH)
+    jobs = max(bench_jobs(), 2)
+    cache_dir = tmp_path / "cache"
+    store_path = tmp_path / "sweeps.sqlite"
+
+    cold, cold_s = _pass(spec, cache_dir, store_path, jobs)
+    warm, warm_s = _pass(spec, cache_dir, store_path, jobs)
+
+    # Cold executes everything; warm is a pure cache replay.
+    assert cold.executed == len(spec.cases) and cold.failed == 0
+    assert warm.cached == len(spec.cases) and warm.executed == 0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "suite": "sweep",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "grid": {
+            "spec": SPEC_PATH.name,
+            "digest": spec.digest(),
+            "n_jobs": len(spec.cases),
+            "workers": jobs,
+        },
+        "cold": {
+            "seconds": round(cold_s, 4),
+            "jobs_per_sec": round(len(spec.cases) / cold_s, 2),
+        },
+        "warm": {
+            "seconds": round(warm_s, 4),
+            "jobs_per_sec": round(len(spec.cases) / warm_s, 2),
+        },
+        "resume_speedup": round(speedup, 1),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # The checkpointed resume must dominate recomputation.
+    assert speedup >= 5, f"cache resume only {speedup:.1f}x faster than cold"

@@ -22,7 +22,10 @@ should import from here and nowhere else:
   (:func:`build_topology`, :func:`synthesize_topology_trace`);
 * verification and observability hooks, CESRM's cache/policy extension
   points, and the low-level building blocks the multi-source example
-  wires by hand (engine, network, metrics).
+  wires by hand (engine, network, metrics);
+* fleet sweeps: :func:`load_sweep`/:func:`compile_sweep` grids,
+  :func:`run_sweep` resumable execution, :class:`SweepStore` columnar
+  results.
 
 Everything importable from the historical deep paths
 (``repro.harness.runner`` etc.) still works, but only the names listed
@@ -126,6 +129,18 @@ from repro.exec import (
     source_fingerprint,
 )
 
+# -- sweeps: declarative grids over the execution engine ----------------
+from repro.sweep import (
+    SweepCase,
+    SweepError,
+    SweepRunReport,
+    SweepSpec,
+    SweepStore,
+    compile_sweep,
+    load_sweep,
+    run_sweep,
+)
+
 __all__ = [
     # engine + network
     "Simulator",
@@ -220,4 +235,13 @@ __all__ = [
     "RunJob",
     "RunSummary",
     "source_fingerprint",
+    # sweeps
+    "SweepSpec",
+    "SweepCase",
+    "SweepError",
+    "SweepStore",
+    "SweepRunReport",
+    "compile_sweep",
+    "load_sweep",
+    "run_sweep",
 ]

@@ -12,21 +12,38 @@ process pool.  A summary rehydrates into a full
 or parallel runs are byte-identical to fresh serial ones.
 """
 
-from repro.exec.cache import CacheStats, RunCache, default_cache_dir
+from repro.exec.cache import (
+    CacheStats,
+    PruneStats,
+    RunCache,
+    default_cache_dir,
+    parse_age,
+    parse_size,
+)
 from repro.exec.jobs import RunJob, execute_job, source_fingerprint
-from repro.exec.pool import EngineStats, ExecutionEngine
+from repro.exec.pool import (
+    EngineStats,
+    ExecutionEngine,
+    JobOutcome,
+    default_chunk_size,
+)
 from repro.exec.summary import RunSummary, config_from_dict, config_to_dict
 
 __all__ = [
     "CacheStats",
     "EngineStats",
     "ExecutionEngine",
+    "JobOutcome",
+    "PruneStats",
     "RunCache",
     "RunJob",
     "RunSummary",
     "config_from_dict",
     "config_to_dict",
     "default_cache_dir",
+    "default_chunk_size",
     "execute_job",
+    "parse_age",
+    "parse_size",
     "source_fingerprint",
 ]

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -63,6 +65,24 @@ class CacheEntry:
     #: *and* for entries written before workload support existed (the
     #: pre-workload wire format had no ``workload`` key).
     workload: str = ""
+    #: Last-modified time of the entry file (what ``prune`` ages on).
+    mtime: float = 0.0
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """What one :meth:`RunCache.prune` pass removed and kept."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"pruned {self.removed} entries ({self.freed_bytes} B), "
+            f"kept {self.kept} ({self.kept_bytes} B)"
+        )
 
 
 @dataclass
@@ -144,6 +164,7 @@ class RunCache:
             try:
                 payload = json.loads(path.read_text())
                 job = payload["job"]
+                stat = path.stat()
                 out.append(
                     CacheEntry(
                         key=path.stem,
@@ -152,8 +173,9 @@ class RunCache:
                         seed=job["config"]["seed"],
                         max_packets=job["trace_max_packets"],
                         fingerprint=payload.get("fingerprint", ""),
-                        size_bytes=path.stat().st_size,
+                        size_bytes=stat.st_size,
                         workload=job.get("workload", ""),
+                        mtime=stat.st_mtime,
                     )
                 )
             except (OSError, KeyError, json.JSONDecodeError, TypeError):
@@ -177,3 +199,91 @@ class RunCache:
             except OSError:
                 continue
         return removed
+
+    def prune(
+        self,
+        older_than: float | None = None,
+        max_size: int | None = None,
+        now: float | None = None,
+    ) -> PruneStats:
+        """Garbage-collect the cache: drop entries last written more than
+        ``older_than`` seconds ago, then — if the survivors still exceed
+        ``max_size`` bytes — drop oldest-first until they fit.
+
+        Sweeps grow the cache fast (one entry per grid point per source
+        fingerprint); this is the maintenance valve.  ``now`` overrides
+        the clock for tests.
+        """
+        if now is None:
+            now = time.time()
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.runs_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+
+        removed = 0
+        freed = 0
+        kept: list[tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if older_than is not None and now - mtime > older_than:
+                if self._unlink(path):
+                    removed += 1
+                    freed += size
+                    continue
+            kept.append((mtime, size, path))
+        if max_size is not None:
+            total = sum(size for _, size, _ in kept)
+            survivors = []
+            for mtime, size, path in kept:
+                if total > max_size and self._unlink(path):
+                    removed += 1
+                    freed += size
+                    total -= size
+                    continue
+                survivors.append((mtime, size, path))
+            kept = survivors
+        return PruneStats(
+            removed=removed,
+            freed_bytes=freed,
+            kept=len(kept),
+            kept_bytes=sum(size for _, size, _ in kept),
+        )
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+
+# ----------------------------------------------------------------------
+# Human-friendly units for the prune CLI
+# ----------------------------------------------------------------------
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+_SIZE_UNITS = {"": 1, "b": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_age(text: str) -> float:
+    """``"7d"``/``"12h"``/``"30m"``/``"45s"`` (or bare seconds) -> seconds."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([smhdw]?)\s*", text.lower())
+    if not match:
+        raise ValueError(
+            f"invalid age {text!r}: expected <number>[s|m|h|d|w], e.g. 7d"
+        )
+    return float(match.group(1)) * _AGE_UNITS.get(match.group(2) or "s", 1.0)
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/``"64K"`` (or bare bytes) -> bytes."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([kmgb]?)i?b?\s*", text.lower())
+    if not match:
+        raise ValueError(
+            f"invalid size {text!r}: expected <number>[K|M|G], e.g. 500M"
+        )
+    return int(float(match.group(1)) * _SIZE_UNITS[match.group(2)])

@@ -13,10 +13,16 @@ execution instead of failing.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pickle import PicklingError
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.exec.cache import RunCache
 from repro.exec.jobs import RunJob, execute_job, source_fingerprint
@@ -27,12 +33,22 @@ from repro.harness.runner import RunResult
 #: its memoized traces instead of re-synthesizing.
 LocalExecutor = Callable[[RunJob], RunSummary]
 
+#: How many times a broken process pool is rebuilt before the engine
+#: gives up on parallelism and fails the remaining jobs.
+MAX_POOL_REBUILDS = 3
+
 
 def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker-process entry point: job dict in, summary dict out (plain
     JSON data on both sides so nothing enum-keyed crosses the pickle
     boundary)."""
     return execute_job(RunJob.from_dict(payload)).to_dict()
+
+
+def _execute_chunk(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Worker-process entry point for a *chunk* of jobs: amortizes the
+    submit/pickle round-trip when a sweep has thousands of short runs."""
+    return [_execute_payload(payload) for payload in payloads]
 
 
 @dataclass
@@ -43,12 +59,33 @@ class EngineStats:
     cache_misses: int = 0
     executed: int = 0
     executed_parallel: int = 0
+    #: Job attempts re-queued after a worker/chunk failure.
+    retried: int = 0
+    #: Jobs abandoned after exhausting their retry budget.
+    failed: int = 0
 
     def describe(self) -> str:
         return (
             f"{self.cache_hits} cached, {self.executed} simulated "
             f"({self.executed_parallel} in workers)"
         )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate under :meth:`ExecutionEngine.map_unordered`."""
+
+    job: RunJob
+    summary: RunSummary | None
+    #: True when the summary came from the run cache (zero recomputation).
+    cached: bool
+    #: Execution attempts consumed (0 for a cache hit).
+    attempts: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.summary is not None
 
 
 @dataclass
@@ -150,6 +187,221 @@ class ExecutionEngine:
                 )
         return summaries
 
+    # ------------------------------------------------------------------
+    # Streaming execution (the repro.sweep scheduler's substrate)
+    # ------------------------------------------------------------------
+    def map_unordered(
+        self,
+        run_jobs: Sequence[RunJob],
+        chunk_size: int | None = None,
+        retries: int = 2,
+    ) -> Iterator[JobOutcome]:
+        """Execute ``run_jobs`` (deduplicated) and yield one
+        :class:`JobOutcome` per unique job **as each completes**.
+
+        Unlike :meth:`execute`, which batches and re-orders, this is the
+        fleet path: cache hits surface immediately, misses are packed
+        into chunks and pulled by pool workers as they free up (late
+        binding — an idle worker steals the next chunk off the shared
+        queue rather than owning a pre-assigned shard), every completed
+        job is written to the cache the moment its chunk lands (the
+        cache is the sweep checkpoint: ``kill -9`` loses at most the
+        in-flight chunks), and a job that dies with its worker is
+        retried — as a singleton, so one poisoned job cannot re-fail its
+        chunk-mates — up to ``retries`` extra attempts before it is
+        reported failed instead of aborting the sweep.
+        """
+        fingerprint = source_fingerprint()
+        unique: dict[str, RunJob] = {}
+        for job in run_jobs:
+            unique.setdefault(job.key(), job)
+
+        pending: list[RunJob] = []
+        for job in unique.values():
+            summary = self._cached_summary(job, fingerprint)
+            if summary is not None:
+                self.stats.cache_hits += 1
+                yield JobOutcome(job, summary, cached=True, attempts=0)
+                continue
+            self.stats.cache_misses += 1
+            pending.append(job)
+        if not pending:
+            return
+        self._report(
+            f"[exec] {len(pending)} job(s) to run, "
+            f"{len(unique) - len(pending)} cached"
+        )
+        if self.jobs > 1 and len(pending) > 1:
+            try:
+                yield from self._map_parallel(
+                    pending, fingerprint, chunk_size, retries
+                )
+                return
+            except (OSError, ImportError, PicklingError, RuntimeError) as exc:
+                self._report(
+                    f"[exec] process pool unavailable ({exc!r}); "
+                    "running serially"
+                )
+        yield from self._map_serial(pending, fingerprint, retries)
+
+    def _cached_summary(
+        self, job: RunJob, fingerprint: str
+    ) -> RunSummary | None:
+        if self.cache is None:
+            return None
+        summary_dict = self.cache.get(job, fingerprint)
+        if summary_dict is None:
+            return None
+        try:
+            return RunSummary.from_dict(summary_dict)
+        except (ValueError, TypeError, KeyError):
+            return None  # undecodable entry: recompute and overwrite
+
+    def _finish_job(
+        self, job: RunJob, summary: RunSummary, fingerprint: str, attempts: int
+    ) -> JobOutcome:
+        if self.cache is not None:
+            self.cache.put(job, fingerprint, summary.to_dict())
+        self.stats.executed += 1
+        return JobOutcome(job, summary, cached=False, attempts=attempts)
+
+    def _fail_job(self, job: RunJob, attempts: int, error: str) -> JobOutcome:
+        self.stats.failed += 1
+        self._report(
+            f"[exec] giving up on {job.describe()} after "
+            f"{attempts} attempt(s): {error}"
+        )
+        return JobOutcome(job, None, cached=False, attempts=attempts, error=error)
+
+    def _map_serial(
+        self, pending: list[RunJob], fingerprint: str, retries: int
+    ) -> Iterator[JobOutcome]:
+        for job in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    summary = execute_job(job)
+                except Exception as exc:  # noqa: BLE001 - retried, then surfaced
+                    if attempts > retries:
+                        yield self._fail_job(job, attempts, repr(exc))
+                        break
+                    self.stats.retried += 1
+                    self._report(
+                        f"[exec] retrying {job.describe()} "
+                        f"(attempt {attempts} failed: {exc!r})"
+                    )
+                    continue
+                yield self._finish_job(job, summary, fingerprint, attempts)
+                break
+
+    def _map_parallel(
+        self,
+        pending: list[RunJob],
+        fingerprint: str,
+        chunk_size: int | None,
+        retries: int,
+    ) -> Iterator[JobOutcome]:
+        workers = min(self.jobs, len(pending))
+        size = chunk_size or default_chunk_size(len(pending), workers)
+        #: Each queue entry is ``(jobs, attempts)`` — attempts counts
+        #: execution tries already consumed by every job in the chunk.
+        queue: deque[tuple[list[RunJob], int]] = deque(
+            (pending[i : i + size], 0) for i in range(0, len(pending), size)
+        )
+        rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        in_flight: dict[Any, tuple[list[RunJob], int]] = {}
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < workers:
+                    chunk, attempts = queue.popleft()
+                    future = pool.submit(
+                        _execute_chunk, [job.to_dict() for job in chunk]
+                    )
+                    in_flight[future] = (chunk, attempts)
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    chunk, attempts = in_flight.pop(future)
+                    try:
+                        summaries = future.result()
+                    except BrokenExecutor as exc:
+                        broken = True
+                        for outcome in self._requeue(
+                            queue, chunk, attempts + 1, retries, exc
+                        ):
+                            yield outcome
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - split and retry
+                        for outcome in self._requeue(
+                            queue, chunk, attempts + 1, retries, exc
+                        ):
+                            yield outcome
+                        continue
+                    for job, summary_dict in zip(chunk, summaries):
+                        self.stats.executed_parallel += 1
+                        yield self._finish_job(
+                            job,
+                            RunSummary.from_dict(summary_dict),
+                            fingerprint,
+                            attempts + 1,
+                        )
+                if broken:
+                    # A dead worker poisons the whole pool: reclaim every
+                    # in-flight chunk (their failures are collateral, so
+                    # their attempt counts are preserved) and rebuild.
+                    for future, (chunk, attempts) in in_flight.items():
+                        future.cancel()
+                        queue.appendleft((chunk, attempts))
+                    in_flight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    rebuilds += 1
+                    if rebuilds > MAX_POOL_REBUILDS:
+                        while queue:
+                            chunk, attempts = queue.popleft()
+                            for job in chunk:
+                                yield self._fail_job(
+                                    job, attempts, "process pool kept breaking"
+                                )
+                        return
+                    self._report(
+                        f"[exec] process pool broke; rebuilding "
+                        f"({rebuilds}/{MAX_POOL_REBUILDS})"
+                    )
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue(
+        self,
+        queue: deque[tuple[list[RunJob], int]],
+        chunk: list[RunJob],
+        attempts: int,
+        retries: int,
+        exc: BaseException,
+    ) -> Iterator[JobOutcome]:
+        """Put a failed chunk's jobs back on the queue as singletons (so
+        one bad job cannot keep sinking its chunk-mates); jobs that are
+        out of retry budget are yielded as failed outcomes instead."""
+        for job in chunk:
+            if attempts > retries:
+                yield self._fail_job(job, attempts, repr(exc))
+            else:
+                self.stats.retried += 1
+                self._report(
+                    f"[exec] re-queueing {job.describe()} "
+                    f"(attempt {attempts} failed: {exc!r})"
+                )
+                queue.append(([job], attempts))
+
     def _report(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
+
+
+def default_chunk_size(n_jobs: int, workers: int) -> int:
+    """Chunks sized so each worker sees ~4 of them: big enough to
+    amortize pickling, small enough that work stealing can rebalance
+    stragglers (and that a kill loses little)."""
+    return max(1, min(32, -(-n_jobs // (workers * 4))))

@@ -21,8 +21,21 @@ single protocol/trace pair:
     $ cesrm all --jobs 8
     $ cesrm cache
     $ cesrm cache --clear
+    $ cesrm cache prune --older-than 7d --max-size 500M
+    $ cesrm sweep run grid.toml --jobs 8
+    $ cesrm sweep status
+    $ cesrm sweep query --group-by protocol,workload --metric avg_latency_rtt
+    $ cesrm sweep report --format markdown
     $ cesrm bench
     $ cesrm bench kernel obs
+
+Sweeps (:mod:`repro.sweep`): ``cesrm sweep run grid.toml`` executes a
+declarative parameter grid — protocols × traces × workloads × faults ×
+seeds × config params — through the execution engine with chunked,
+work-stealing, retrying fan-out, checkpointing every completed run in
+the content-addressed cache (kill it, rerun, only missing jobs execute)
+and flattening every result into a columnar sqlite store that ``sweep
+query``/``report`` aggregate without re-reading per-run JSON.
 
 Fault injection (:mod:`repro.faults`): ``--faults plan.json`` runs any
 command's simulations under a declarative fault plan — link outages,
@@ -92,9 +105,13 @@ COMMANDS = (
     "protocols",
     "workloads",
     "cache",
+    "sweep",
     "bench",
     "all",
 )
+
+#: Subcommands of ``cesrm sweep`` (the first ``names`` positional).
+SWEEP_SUBCOMMANDS = ("run", "status", "query", "report")
 
 
 def _trace_arg(value: str) -> str:
@@ -139,9 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "names",
         nargs="*",
-        metavar="BENCH",
-        help="with the `bench` command: suite names (benchmarks/bench_<name>.py) "
-        "or `all`; bare `cesrm bench` lists the available suites",
+        metavar="ARG",
+        help="with `bench`: suite names (benchmarks/bench_<name>.py) or `all`; "
+        "with `sweep`: a subcommand (run|status|query|report) plus a spec "
+        "file (run) or sweep selector (status/query/report); with `cache`: "
+        "`prune` to garbage-collect",
     )
     parser.add_argument(
         "--max-packets",
@@ -234,6 +253,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="with the `cache` command: delete every stored run",
     )
     parser.add_argument(
+        "--older-than",
+        default=None,
+        metavar="AGE",
+        help="with `cache prune`: drop entries older than AGE (e.g. 7d, 12h, 30m)",
+    )
+    parser.add_argument(
+        "--max-size",
+        default=None,
+        metavar="SIZE",
+        help="with `cache prune`: drop oldest entries until the cache fits "
+        "SIZE (e.g. 500M, 2G)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with `protocols`/`workloads`/`faults`: machine-readable JSON "
+        "listings (for tools generating or validating sweep specs)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="with the `sweep` command: sqlite result store "
+        "(default: <cache-dir>/sweeps.sqlite)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with `sweep run`: jobs per worker chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with `sweep run`: extra attempts per job after a worker "
+        "failure (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--where",
+        action="append",
+        default=None,
+        metavar="COL=VALUE",
+        help="with `sweep query`: filter rows (repeatable), e.g. "
+        "--where protocol=cesrm --where seed=0",
+    )
+    parser.add_argument(
+        "--group-by",
+        default=None,
+        metavar="COL[,COL...]",
+        help="with `sweep query`: dimension columns to group by, e.g. "
+        "protocol,workload",
+    )
+    parser.add_argument(
+        "--metric",
+        default=None,
+        metavar="M[,M...]",
+        help="with `sweep query`: metric columns to aggregate "
+        "(default: avg_latency_rtt)",
+    )
+    parser.add_argument(
+        "--agg",
+        default="mean",
+        choices=["mean", "sum", "min", "max", "count"],
+        help="with `sweep query`: aggregate function (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "csv", "markdown"],
+        dest="fmt",
+        help="with `sweep query`/`report`: output format (default: %(default)s)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -324,6 +419,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         print(_cache_command(args))
         return 0
+    if args.command == "sweep":
+        return _sweep_command(args)
     if args.command == "bench":
         return _bench_command(args)
     ctx = _context(args)
@@ -391,9 +488,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "faults":
         out.append(_faults_command(args, ctx))
     if args.command == "protocols":
-        out.append(_protocols_command())
+        out.append(_protocols_command(as_json=args.json))
     if args.command == "workloads":
-        out.append(_workloads_command())
+        out.append(_workloads_command(as_json=args.json))
 
     print("\n\n".join(out))
     cache = ctx.engine.cache
@@ -496,11 +593,31 @@ def _bench_command(args: argparse.Namespace) -> int:
 
 
 def _cache_command(args: argparse.Namespace) -> str:
-    """Inspect (default) or clear (``--clear``) the persistent run cache."""
+    """Inspect (default), clear (``--clear``), or garbage-collect
+    (``cesrm cache prune --older-than 7d --max-size 500M``) the
+    persistent run cache."""
+    from repro.exec.cache import parse_age, parse_size
+
     cache = RunCache(args.cache_dir or default_cache_dir())
     if args.clear:
         removed = cache.clear()
         return f"run cache {cache.directory}: cleared {removed} entries"
+    if args.names and args.names[0] == "prune":
+        if args.older_than is None and args.max_size is None:
+            raise SystemExit(
+                "cesrm cache prune needs --older-than AGE and/or --max-size SIZE"
+            )
+        try:
+            older_than = parse_age(args.older_than) if args.older_than else None
+            max_size = parse_size(args.max_size) if args.max_size else None
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        stats = cache.prune(older_than=older_than, max_size=max_size)
+        return f"run cache {cache.directory}: {stats.describe()}"
+    if args.names:
+        raise SystemExit(
+            f"unknown cache subcommand {args.names[0]!r} (known: prune)"
+        )
     entries = cache.entries()
     fingerprint = source_fingerprint()
     fresh = sum(1 for e in entries if e.fingerprint == fingerprint)
@@ -651,6 +768,26 @@ def _faults_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str
     configured trace/protocol under the plan and reports the injected
     faults next to the recovery outcome.
     """
+    if args.json:
+        import json
+        from dataclasses import fields as dc_fields
+
+        from repro.faults.plan import EVENT_TYPES
+
+        payload = {
+            "events": [
+                {
+                    "type": name,
+                    "fields": [
+                        f.name for f in dc_fields(cls) if f.name != "type_name"
+                    ],
+                }
+                for name, cls in sorted(EVENT_TYPES.items())
+            ]
+        }
+        if not ctx.faults.empty:
+            payload["plan"] = ctx.faults.to_dict()
+        return json.dumps(payload, indent=2, sort_keys=True)
     plan = ctx.faults
     if plan.empty:
         return (
@@ -680,8 +817,26 @@ def _faults_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str
     return "\n".join(lines)
 
 
-def _protocols_command() -> str:
-    """List every protocol the registry knows."""
+def _protocols_command(as_json: bool = False) -> str:
+    """List every protocol the registry knows (``--json`` for tools)."""
+    if as_json:
+        import json
+
+        return json.dumps(
+            {
+                "protocols": [
+                    {
+                        "name": spec.name,
+                        "description": spec.description,
+                        "tags": list(spec.tags),
+                        "fabric": spec.fabric_factory is not None,
+                    }
+                    for spec in all_specs()
+                ]
+            },
+            indent=2,
+            sort_keys=True,
+        )
     lines = ["registered protocols:"]
     for spec in all_specs():
         extras = []
@@ -694,10 +849,40 @@ def _protocols_command() -> str:
     return "\n".join(lines)
 
 
-def _workloads_command() -> str:
+def _workloads_command(as_json: bool = False) -> str:
     """List every workload family the registry knows, with parameters."""
     from repro.workloads import all_workload_specs
 
+    if as_json:
+        import json
+
+        return json.dumps(
+            {
+                "workloads": [
+                    {
+                        "name": spec.name,
+                        "description": spec.description,
+                        "params": dict(spec.params_doc),
+                        "tags": list(spec.tags),
+                    }
+                    for spec in all_workload_specs()
+                ],
+                "topologies": [
+                    {
+                        "name": "tree",
+                        "params": {
+                            "depth": "tree depth",
+                            "fanout": "children per node",
+                            "loss": "per-link loss target (default 0.05)",
+                            "period": "inter-packet period seconds",
+                            "packets": "trace length",
+                        },
+                    }
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
     lines = ["registered workloads (cesrm run --workload <family>[:k=v,...]):"]
     for spec in all_workload_specs():
         suffix = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
@@ -710,6 +895,154 @@ def _workloads_command() -> str:
         "[,loss=0.05,period=0.08,packets=1000]"
     )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The sweep command
+# ----------------------------------------------------------------------
+def _sweep_store(args: argparse.Namespace):
+    from repro.sweep import SweepStore, default_store_path
+
+    path = args.store or default_store_path(args.cache_dir or default_cache_dir())
+    return SweepStore(path)
+
+
+def _sweep_where(args: argparse.Namespace) -> dict[str, str]:
+    where = {}
+    for token in args.where or ():
+        key, eq, value = token.partition("=")
+        if not eq or not key:
+            raise SystemExit(f"--where expects COL=VALUE, got {token!r}")
+        where[key.strip()] = value.strip()
+    return where
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    """``cesrm sweep run|status|query|report`` — see docs/sweeps.md."""
+    from repro.exec.pool import ExecutionEngine
+    from repro.sweep import (
+        SweepError,
+        SweepStoreError,
+        load_sweep,
+        render_rows,
+        render_sweep_report,
+        run_sweep,
+    )
+
+    if not args.names or args.names[0] not in SWEEP_SUBCOMMANDS:
+        print(
+            "usage: cesrm sweep run SPEC.toml [--jobs N] [--retries R] |\n"
+            "       cesrm sweep status [SELECTOR] |\n"
+            "       cesrm sweep query [SELECTOR] --group-by ... --metric ... |\n"
+            "       cesrm sweep report [SELECTOR] [--format markdown]",
+            file=sys.stderr,
+        )
+        return 2
+    sub = args.names[0]
+    target = args.names[1] if len(args.names) > 1 else None
+
+    if sub == "run":
+        if target is None:
+            print("cesrm sweep run needs a spec file (TOML or JSON)", file=sys.stderr)
+            return 2
+        try:
+            spec = load_sweep(target)
+        except SweepError as exc:
+            print(f"bad sweep spec: {exc}", file=sys.stderr)
+            return 2
+        engine = ExecutionEngine(
+            jobs=args.jobs,
+            cache=_cache(args),
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        with _sweep_store(args) as store:
+            report_ = run_sweep(
+                spec,
+                engine=engine,
+                store=store,
+                chunk_size=args.chunk_size,
+                retries=args.retries,
+                progress=lambda msg: print(msg, file=sys.stderr),
+            )
+            print(report_.describe())
+            print(f"  store {store.path}")
+        if engine.cache is not None:
+            print(
+                f"[exec] cache: {engine.cache.stats.describe()} — "
+                f"{engine.cache.directory}",
+                file=sys.stderr,
+            )
+        return 1 if report_.failed else 0
+
+    with _sweep_store(args) as store:
+        try:
+            if sub == "status":
+                return _sweep_status(store, target)
+            digest = _resolve_sweep_target(store, target)
+            if sub == "query":
+                metrics = (args.metric or "avg_latency_rtt").split(",")
+                group_by = [g for g in (args.group_by or "").split(",") if g]
+                headers, rows = store.query(
+                    digest,
+                    where=_sweep_where(args),
+                    group_by=group_by,
+                    metrics=[m.strip() for m in metrics],
+                    agg=args.agg,
+                )
+                print(render_rows(headers, rows, args.fmt))
+                return 0
+            # report
+            print(render_sweep_report(store, digest, args.fmt))
+            return 0
+        except SweepStoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+
+def _resolve_sweep_target(store, target: str | None) -> str:
+    """A query/report selector may also be a spec file: compile it and use
+    its digest, so `cesrm sweep query grid.toml` just works."""
+    from pathlib import Path
+
+    from repro.sweep import SweepError, load_sweep
+
+    if target and (
+        target.endswith((".toml", ".json")) or Path(target).is_file()
+    ):
+        try:
+            return load_sweep(target).digest()
+        except SweepError as exc:
+            raise SystemExit(f"bad sweep spec {target!r}: {exc}") from None
+    return store.resolve(target)
+
+
+def _sweep_status(store, target: str | None) -> int:
+    import time as _time
+
+    sweeps = store.sweeps()
+    if target:
+        digest = _resolve_sweep_target(store, target)
+        sweeps = [s for s in sweeps if s["digest"] == digest]
+    if not sweeps:
+        print(f"no sweeps recorded in {store.path}")
+        return 0
+    print(f"sweep store {store.path}:")
+    for entry in sweeps:
+        counts = store.counts(entry["digest"])
+        state = "done" if counts["ok"] >= entry["n_jobs"] else "partial"
+        if counts["failed"]:
+            state += f", {counts['failed']} failed"
+        updated = _time.strftime(
+            "%Y-%m-%d %H:%M:%S", _time.localtime(entry["updated_at"])
+        )
+        print(
+            f"  {entry['digest'][:12]}  {entry['name']:<24} "
+            f"{counts['ok']}/{entry['n_jobs']} ok ({state})  "
+            f"updated {updated}"
+        )
+        if entry["description"]:
+            print(f"    {entry['description']}")
+    return 0
 
 
 def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:

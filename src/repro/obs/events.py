@@ -60,6 +60,12 @@ class EventKind:
     # -- workload generation (repro.workloads) -------------------------
     WORKLOAD_SEND = "workload.send"  # a workload event fired (obj in detail)
 
+    # -- sweep orchestration (repro.sweep); time = wall seconds --------
+    SWEEP_START = "sweep.start"
+    SWEEP_JOB = "sweep.job"              # one job ingested (cached/fresh)
+    SWEEP_JOB_FAILED = "sweep.job-failed"  # retries exhausted
+    SWEEP_DONE = "sweep.done"
+
     # -- fault injection (repro.faults) --------------------------------
     FAULT_LINK_DOWN = "fault.link-down"
     FAULT_LINK_UP = "fault.link-up"

@@ -1,0 +1,69 @@
+"""Fleet-scale parameter sweeps: declarative grids, resumable execution,
+and a columnar result store.
+
+The paper's entire evaluation is one grid — traces × protocols × loss
+models × seeds — and every axis of it is declarative elsewhere in the
+repo; :mod:`repro.sweep` is the layer that runs that grid as a unit:
+
+* :mod:`repro.sweep.spec` — TOML/JSON grid specs compiled (cartesian
+  product + explicit case lists, deduplicated, eagerly validated) into
+  :class:`~repro.exec.jobs.RunJob`\\ s with a sweep-level content digest;
+* :mod:`repro.sweep.scheduler` — :func:`run_sweep` streams the job set
+  through the execution engine's chunked, work-stealing, retrying pool
+  path, checkpointing into the content-addressed run cache (``kill -9``
+  and rerun: completed jobs are cache hits, zero recomputation) and
+  emitting ``sweep.*`` progress events on the :mod:`repro.obs` bus;
+* :mod:`repro.sweep.store` — one sqlite row per run with the summary
+  metrics flattened into columns, so "expedited fraction by protocol ×
+  workload" is one SQL statement, not ten thousand JSON reads;
+* :mod:`repro.sweep.report` — table/CSV/markdown rendering and the
+  canned per-axis roll-up.
+
+Drive it from the CLI::
+
+    cesrm sweep run grid.toml --jobs 8
+    cesrm sweep status
+    cesrm sweep query --group-by protocol,workload --metric avg_latency_rtt
+    cesrm sweep report --format markdown
+"""
+
+from repro.sweep.report import FORMATS, render_rows, render_sweep_report
+from repro.sweep.scheduler import SweepRunReport, run_sweep
+from repro.sweep.spec import (
+    AXES,
+    SweepCase,
+    SweepError,
+    SweepSpec,
+    compile_sweep,
+    load_sweep,
+)
+from repro.sweep.store import (
+    AGGREGATES,
+    DIMENSIONS,
+    METRICS,
+    SweepStore,
+    SweepStoreError,
+    default_store_path,
+    flatten_summary,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AXES",
+    "DIMENSIONS",
+    "FORMATS",
+    "METRICS",
+    "SweepCase",
+    "SweepError",
+    "SweepRunReport",
+    "SweepSpec",
+    "SweepStore",
+    "SweepStoreError",
+    "compile_sweep",
+    "default_store_path",
+    "flatten_summary",
+    "load_sweep",
+    "render_rows",
+    "render_sweep_report",
+    "run_sweep",
+]

@@ -1,0 +1,173 @@
+"""The sweep scheduler: grid in, checkpointed columnar results out.
+
+:func:`run_sweep` drives one compiled :class:`~repro.sweep.spec.SweepSpec`
+through the :class:`~repro.exec.pool.ExecutionEngine`'s streaming path
+(:meth:`~repro.exec.pool.ExecutionEngine.map_unordered`): cache hits
+surface instantly, misses fan out in work-stolen chunks over the process
+pool with bounded per-job retries, and every outcome is ingested into
+the :class:`~repro.sweep.store.SweepStore` the moment it lands.
+
+Resumability is structural, not bolted on: the content-addressed run
+cache *is* the checkpoint.  ``kill -9`` a sweep at any point and rerun
+the same spec — every job whose result already reached the cache is a
+hit (zero recomputation), only the in-flight remainder executes, and
+the store rows are idempotent upserts.  Nothing needs a journal.
+
+Progress goes to the :mod:`repro.obs` bus: pass a
+:class:`~repro.obs.tracer.Tracer` and the scheduler emits ``sweep.start``
+/ ``sweep.job`` / ``sweep.job-failed`` / ``sweep.done`` events (the
+``time`` field is wall-clock seconds since the sweep began), so the
+same sinks that record simulation runs can watch a fleet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exec.pool import ExecutionEngine
+from repro.obs import EventKind, Tracer
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import SweepStore
+
+
+@dataclass(frozen=True)
+class SweepRunReport:
+    """What one :func:`run_sweep` pass did, for humans and greppers."""
+
+    digest: str
+    name: str
+    total: int
+    cached: int
+    executed: int
+    failed: int
+    retried: int
+    duplicates: int
+    elapsed: float
+
+    @property
+    def jobs_per_sec(self) -> float:
+        done = self.cached + self.executed
+        return done / self.elapsed if self.elapsed > 0 else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"sweep {self.name} [{self.digest[:12]}]: {self.total} jobs"
+            + (f" ({self.duplicates} duplicate points pruned)" if self.duplicates else ""),
+            f"  cached={self.cached} executed={self.executed} "
+            f"failed={self.failed} retried={self.retried}",
+            f"  elapsed {self.elapsed:.1f}s, {self.jobs_per_sec:.1f} jobs/s",
+        ]
+        return "\n".join(lines)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    engine: ExecutionEngine,
+    store: SweepStore,
+    tracer: Tracer | None = None,
+    chunk_size: int | None = None,
+    retries: int = 2,
+    progress: Callable[[str], None] | None = None,
+) -> SweepRunReport:
+    """Run (or resume) ``spec``: execute every missing job, ingest every
+    outcome, return the tally.
+
+    ``engine`` supplies the worker count and the run cache (the
+    checkpoint); ``store`` receives one row per job.  Deterministic end
+    state: however the work was split, killed, or resumed, a finished
+    sweep's store rows depend only on the spec and the source tree.
+    """
+    digest = store.begin_sweep(spec)
+    by_key = {case.key: case for case in spec.cases}
+    started = time.monotonic()
+    if tracer is not None:
+        tracer.emit(
+            0.0,
+            EventKind.SWEEP_START,
+            sweep=digest,
+            name=spec.name,
+            jobs=len(spec.cases),
+        )
+    cached = executed = failed = 0
+    retried_before = engine.stats.retried
+    done = 0
+    for outcome in engine.map_unordered(
+        [case.job for case in spec.cases],
+        chunk_size=chunk_size,
+        retries=retries,
+    ):
+        case = by_key[outcome.job.key()]
+        store.record(
+            digest,
+            case,
+            outcome.summary,
+            cached=outcome.cached,
+            attempts=outcome.attempts,
+            error=outcome.error,
+        )
+        done += 1
+        elapsed = time.monotonic() - started
+        if outcome.summary is None:
+            failed += 1
+            if tracer is not None:
+                tracer.emit(
+                    elapsed,
+                    EventKind.SWEEP_JOB_FAILED,
+                    sweep=digest,
+                    job=outcome.job.describe(),
+                    attempts=outcome.attempts,
+                    error=outcome.error,
+                )
+        else:
+            if outcome.cached:
+                cached += 1
+            else:
+                executed += 1
+            if tracer is not None:
+                tracer.emit(
+                    elapsed,
+                    EventKind.SWEEP_JOB,
+                    sweep=digest,
+                    job=outcome.job.describe(),
+                    cached=outcome.cached,
+                    attempts=outcome.attempts,
+                )
+        if progress is not None and (
+            done == len(spec.cases) or done % _progress_stride(len(spec.cases)) == 0
+        ):
+            progress(
+                f"[sweep] {done}/{len(spec.cases)} "
+                f"(cached={cached} executed={executed} failed={failed})"
+            )
+    elapsed = time.monotonic() - started
+    report = SweepRunReport(
+        digest=digest,
+        name=spec.name,
+        total=len(spec.cases),
+        cached=cached,
+        executed=executed,
+        failed=failed,
+        retried=engine.stats.retried - retried_before,
+        duplicates=spec.duplicates,
+        elapsed=elapsed,
+    )
+    if tracer is not None:
+        tracer.emit(
+            elapsed,
+            EventKind.SWEEP_DONE,
+            sweep=digest,
+            cached=cached,
+            executed=executed,
+            failed=failed,
+        )
+    return report
+
+
+def _progress_stride(total: int) -> int:
+    """Report roughly every 2% of a big sweep, every job of a small one."""
+    return max(1, total // 50)
+
+
+__all__ = ["SweepRunReport", "run_sweep"]

@@ -1,0 +1,160 @@
+"""Run-cache garbage collection: ``prune`` and its unit parsers."""
+
+import os
+
+import pytest
+
+from repro.exec.cache import RunCache, parse_age, parse_size
+from repro.exec.jobs import RunJob
+from repro.harness.cli import main
+from repro.harness.config import SimulationConfig
+
+FP = "f" * 64
+
+
+def _put(cache: RunCache, seed: int, mtime: float | None = None):
+    """Store a fake entry and optionally backdate its file mtime."""
+    job = RunJob(
+        "WRN950919",
+        "srm",
+        SimulationConfig(seed=seed, max_packets=100),
+        trace_seed=seed,
+        trace_max_packets=100,
+    )
+    path = cache.put(job, FP, {"fake": seed})
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return path
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+class TestPruneAge:
+    def test_old_entries_dropped(self, cache):
+        now = 1_000_000.0
+        _put(cache, 0, mtime=now - 100)
+        _put(cache, 1, mtime=now - 10)
+        stats = cache.prune(older_than=50, now=now)
+        assert stats.removed == 1
+        assert stats.kept == 1
+        assert stats.freed_bytes > 0
+        assert len(cache.entries()) == 1
+        assert cache.entries()[0].seed == 1
+
+    def test_fresh_cache_untouched(self, cache):
+        now = 1_000_000.0
+        _put(cache, 0, mtime=now - 10)
+        stats = cache.prune(older_than=3600, now=now)
+        assert stats.removed == 0
+        assert stats.kept == 1
+
+    def test_empty_cache(self, cache):
+        stats = cache.prune(older_than=0)
+        assert stats.removed == 0
+        assert stats.kept == 0
+
+
+class TestPruneSize:
+    def test_oldest_dropped_first_until_fit(self, cache):
+        now = 1_000_000.0
+        for seed in range(4):
+            _put(cache, seed, mtime=now + seed)  # seed 0 is oldest
+        per_entry = cache.size_bytes() // 4
+        stats = cache.prune(max_size=2 * per_entry + 1, now=now)
+        assert stats.removed == 2
+        assert sorted(e.seed for e in cache.entries()) == [2, 3]
+        assert cache.size_bytes() <= 2 * per_entry + 1
+        assert stats.kept_bytes == cache.size_bytes()
+
+    def test_zero_budget_clears_everything(self, cache):
+        _put(cache, 0)
+        _put(cache, 1)
+        stats = cache.prune(max_size=0)
+        assert stats.removed == 2
+        assert len(cache.entries()) == 0
+
+    def test_age_then_size_compose(self, cache):
+        now = 1_000_000.0
+        _put(cache, 0, mtime=now - 100)  # killed by age
+        _put(cache, 1, mtime=now - 5)
+        _put(cache, 2, mtime=now - 1)
+        per_entry = cache.size_bytes() // 3
+        stats = cache.prune(older_than=50, max_size=per_entry + 1, now=now)
+        assert stats.removed == 2
+        assert [e.seed for e in cache.entries()] == [2]
+
+
+class TestParseAge:
+    @pytest.mark.parametrize(
+        ("text", "seconds"),
+        [
+            ("45s", 45.0),
+            ("30m", 1800.0),
+            ("12h", 43200.0),
+            ("7d", 604800.0),
+            ("1w", 604800.0),
+            ("90", 90.0),
+            ("1.5h", 5400.0),
+            (" 2D ", 172800.0),
+        ],
+    )
+    def test_units(self, text, seconds):
+        assert parse_age(text) == seconds
+
+    @pytest.mark.parametrize("text", ["", "d7", "7x", "-3d", "1h30m"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError, match="invalid age"):
+            parse_age(text)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        ("text", "size"),
+        [
+            ("512", 512),
+            ("64K", 64 * 1024),
+            ("500M", 500 * 1024 * 1024),
+            ("2G", 2 * 1024**3),
+            ("10kb", 10 * 1024),
+            ("3MiB", 3 * 1024**2),
+            ("1.5k", 1536),
+        ],
+    )
+    def test_units(self, text, size):
+        assert parse_size(text) == size
+
+    @pytest.mark.parametrize("text", ["", "M5", "5T", "-1G"])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError, match="invalid size"):
+            parse_size(text)
+
+
+class TestCli:
+    def test_prune_via_cli(self, tmp_path, capsys):
+        cache = RunCache(tmp_path / "cache")
+        now = 1_000_000.0
+        _put(cache, 0, mtime=now - 100)
+        rc = main(
+            ["cache", "prune", "--older-than", "0s", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entries" in out
+        assert len(cache.entries()) == 0
+
+    def test_prune_requires_a_bound(self, tmp_path):
+        with pytest.raises(SystemExit, match="needs --older-than"):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
+    def test_prune_rejects_bad_age(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid age"):
+            main(
+                ["cache", "prune", "--older-than", "nope", "--cache-dir", str(tmp_path)]
+            )
+
+    def test_unknown_cache_subcommand(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown cache subcommand"):
+            main(["cache", "wipe", "--cache-dir", str(tmp_path)])

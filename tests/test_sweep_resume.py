@@ -1,0 +1,131 @@
+"""Resumability under ``kill -9``: the run cache is the checkpoint.
+
+A sweep process is started for real (subprocess), killed without
+warning once at least one job has reached the cache, and resumed.  The
+resume must treat every checkpointed job as a cache hit (no
+recomputation), finish the remainder, and a third run must execute
+nothing at all.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.cli import main
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+GRID = """
+name = "resume"
+description = "kill -9 resume exercise"
+
+[defaults]
+trace = "WRN950919"
+max_packets = 500
+
+[grid]
+protocol = ["srm", "cesrm"]
+seed = [0, 1, 2, 3, 4]
+"""
+
+TOTAL = 10
+TALLY = re.compile(r"cached=(\d+) executed=(\d+) failed=(\d+)")
+
+
+def _committed_entries(cache: Path) -> list[Path]:
+    """Fully-written cache entries only — ``put`` stages through dotted
+    ``.tmp-*.json`` files in the same directory before ``os.replace``,
+    and a kill can land mid-write, orphaning one."""
+    return [p for p in cache.glob("**/*.json") if not p.name.startswith(".")]
+
+
+def _resume(spec_path: Path, cache: Path, store: Path, capsys) -> tuple[int, int, int]:
+    rc = main(
+        [
+            "sweep",
+            "run",
+            str(spec_path),
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(cache),
+            "--store",
+            str(store),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    match = TALLY.search(out)
+    assert match, f"no tally line in output:\n{out}"
+    return tuple(int(g) for g in match.groups())
+
+
+def test_kill9_then_resume_recomputes_only_missing_jobs(tmp_path, capsys):
+    spec_path = tmp_path / "grid.toml"
+    spec_path.write_text(GRID)
+    cache = tmp_path / "cache"
+    store = tmp_path / "sweeps.sqlite"
+
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness.cli",
+            "sweep",
+            "run",
+            str(spec_path),
+            "--jobs",
+            "2",
+            "--chunk-size",
+            "1",
+            "--cache-dir",
+            str(cache),
+            "--store",
+            str(store),
+        ],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if _committed_entries(cache) or proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if proc.poll() is None:
+            proc.kill()  # SIGKILL: no cleanup, no atexit, no flush
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - belt and braces
+            proc.kill()
+            proc.wait()
+
+    checkpointed = len(_committed_entries(cache))
+    assert checkpointed >= 1, "sweep was killed before any job checkpointed"
+
+    # Resume: checkpointed jobs are cache hits, the rest execute.
+    cached, executed, failed = _resume(spec_path, cache, store, capsys)
+    assert failed == 0
+    assert cached >= 1
+    assert cached + executed == TOTAL
+    assert executed <= TOTAL - 1  # at least one job was NOT recomputed
+
+    # Third run: everything is checkpointed; nothing executes at all.
+    cached, executed, failed = _resume(spec_path, cache, store, capsys)
+    assert (cached, executed, failed) == (TOTAL, 0, 0)
+
+    # The store converged to one ok row per job despite the kill.
+    from repro.sweep import SweepStore, load_sweep
+
+    with SweepStore(store) as st:
+        digest = load_sweep(spec_path).digest()
+        counts = st.counts(digest)
+    assert counts["ok"] == TOTAL
+    assert counts["failed"] == 0

@@ -1,0 +1,202 @@
+"""The sweep scheduler: determinism, cache-checkpoint resume, retries,
+work-stealing parallel execution, and obs progress events."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.exec.cache import RunCache
+from repro.exec.pool import ExecutionEngine
+from repro.obs import EventKind, RingBufferSink, Tracer
+from repro.sweep import SweepStore, compile_sweep, run_sweep
+
+SPEC_DATA = {
+    "name": "sched-test",
+    "grid": {
+        "protocol": ["srm", "cesrm"],
+        "trace": ["WRN950919"],
+        "seed": [0, 1],
+    },
+    "defaults": {"max_packets": 120},
+}
+
+
+@pytest.fixture
+def spec():
+    return compile_sweep(SPEC_DATA)
+
+
+def _run(spec, tmp_path, tag, jobs=1, **kwargs):
+    cache = RunCache(tmp_path / f"cache-{tag}")
+    engine = ExecutionEngine(jobs=jobs, cache=cache)
+    store = SweepStore(tmp_path / f"store-{tag}.sqlite")
+    report = run_sweep(spec, engine=engine, store=store, **kwargs)
+    return report, store, engine
+
+
+def _comparable_rows(store, digest):
+    """Per-run rows with the timing columns dropped (wall_time differs
+    between otherwise identical runs)."""
+    columns, rows = store.rows(digest)
+    keep = [i for i, c in enumerate(columns) if c not in ("wall_time", "sim_time")]
+    return [tuple(row[i] for i in keep) for row in rows]
+
+
+class TestDeterminism:
+    @pytest.mark.slow
+    def test_serial_and_parallel_identical(self, spec, tmp_path):
+        serial, store_s, _ = _run(spec, tmp_path, "serial", jobs=1)
+        parallel, store_p, _ = _run(spec, tmp_path, "par", jobs=2, chunk_size=1)
+        assert serial.digest == parallel.digest
+        assert serial.executed == parallel.executed == len(spec.cases)
+        assert _comparable_rows(store_s, serial.digest) == _comparable_rows(
+            store_p, parallel.digest
+        )
+        store_s.close()
+        store_p.close()
+
+    def test_rerun_is_all_cache_hits(self, spec, tmp_path):
+        first, store, _ = _run(spec, tmp_path, "a")
+        assert first.executed == len(spec.cases)
+        assert first.cached == 0
+        store.close()
+        # Same cache, fresh engine/store: the run cache is the checkpoint.
+        second, store2, _ = _run(spec, tmp_path, "a")
+        assert second.executed == 0
+        assert second.cached == len(spec.cases)
+        assert _comparable_rows(store2, second.digest) == _comparable_rows(
+            store2, first.digest
+        )
+        store2.close()
+
+    def test_partial_cache_resumes(self, spec, tmp_path):
+        """Pre-warm the cache with half the jobs: only the rest execute."""
+        half = compile_sweep(
+            {**SPEC_DATA, "grid": {**SPEC_DATA["grid"], "protocol": ["srm"]}}
+        )
+        _run(half, tmp_path, "a")[1].close()
+        report, store, _ = _run(spec, tmp_path, "a")
+        assert report.cached == len(half.cases)
+        assert report.executed == len(spec.cases) - len(half.cases)
+        assert store.counts(report.digest)["ok"] == len(spec.cases)
+        store.close()
+
+
+class TestRetries:
+    def test_serial_transient_failure_retried(self, spec, tmp_path, monkeypatch):
+        real = pool_mod.execute_job
+        failures = {"left": 2}
+
+        def flaky(job):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise OSError("transient")
+            return real(job)
+
+        monkeypatch.setattr(pool_mod, "execute_job", flaky)
+        report, store, engine = _run(spec, tmp_path, "a", retries=2)
+        assert report.failed == 0
+        assert report.retried == 2
+        assert engine.stats.retried == 2
+        store.close()
+
+    def test_retries_exhausted_marks_failed(self, spec, tmp_path, monkeypatch):
+        def poisoned(job):
+            raise OSError("always down")
+
+        monkeypatch.setattr(pool_mod, "execute_job", poisoned)
+        report, store, _ = _run(spec, tmp_path, "a", retries=1)
+        assert report.failed == len(spec.cases)
+        assert report.executed == 0
+        counts = store.counts(report.digest)
+        assert counts["failed"] == len(spec.cases)
+        # Failed rows carry the error and never aggregate.
+        _, rows = store.rows(report.digest, where={"status": "failed"})
+        assert len(rows) == len(spec.cases)
+        store.close()
+
+    def test_failed_jobs_recompute_on_rerun(self, spec, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            pool_mod, "execute_job", lambda job: (_ for _ in ()).throw(OSError("x"))
+        )
+        first, store, _ = _run(spec, tmp_path, "a", retries=0)
+        assert first.failed == len(spec.cases)
+        store.close()
+        monkeypatch.undo()
+        second, store2, _ = _run(spec, tmp_path, "a")
+        assert second.executed == len(spec.cases)
+        assert store2.counts(second.digest)["failed"] == 0
+        store2.close()
+
+    def test_parallel_chunk_failure_retried_as_singletons(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """One bad chunk must not sink its chunk-mates: the failed chunk
+        splits into singletons that retry (in-process pool so the flaky
+        counter is visible to the 'workers')."""
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", ThreadPoolExecutor)
+        real_chunk = pool_mod._execute_chunk
+        failures = {"left": 1}
+
+        def flaky_chunk(payloads):
+            if len(payloads) > 1 and failures["left"]:
+                failures["left"] -= 1
+                raise OSError("worker lost")
+            return real_chunk(payloads)
+
+        monkeypatch.setattr(pool_mod, "_execute_chunk", flaky_chunk)
+        report, store, engine = _run(
+            spec, tmp_path, "a", jobs=2, chunk_size=2, retries=2
+        )
+        assert report.failed == 0
+        assert report.executed == len(spec.cases)
+        assert report.retried == 2  # both members of the failed chunk
+        store.close()
+
+
+class TestObsEvents:
+    def test_progress_events_on_the_bus(self, spec, tmp_path):
+        sink = RingBufferSink(capacity=256)
+        tracer = Tracer(sink)
+        report, store, _ = _run(spec, tmp_path, "a", tracer=tracer)
+        kinds = [e.kind for e in sink.events]
+        assert kinds[0] == EventKind.SWEEP_START
+        assert kinds[-1] == EventKind.SWEEP_DONE
+        assert kinds.count(EventKind.SWEEP_JOB) == len(spec.cases)
+        start = sink.events[0]
+        assert start.detail["sweep"] == report.digest
+        assert start.detail["jobs"] == len(spec.cases)
+        done = sink.events[-1]
+        assert done.detail["executed"] == len(spec.cases)
+        assert done.detail["failed"] == 0
+        job_events = [e for e in sink.events if e.kind == EventKind.SWEEP_JOB]
+        assert all(e.detail["cached"] is False for e in job_events)
+        store.close()
+
+    def test_failed_jobs_emit_their_own_kind(self, spec, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            pool_mod, "execute_job", lambda job: (_ for _ in ()).throw(OSError("x"))
+        )
+        sink = RingBufferSink(capacity=256)
+        report, store, _ = _run(
+            spec, tmp_path, "a", retries=0, tracer=Tracer(sink)
+        )
+        failed = [e for e in sink.events if e.kind == EventKind.SWEEP_JOB_FAILED]
+        assert len(failed) == len(spec.cases)
+        assert all(e.detail["error"] for e in failed)
+        store.close()
+
+
+class TestReport:
+    def test_describe_is_greppable(self, spec, tmp_path):
+        report, store, _ = _run(spec, tmp_path, "a")
+        text = report.describe()
+        assert f"cached=0 executed={len(spec.cases)} failed=0" in text
+        assert report.digest[:12] in text
+        store.close()
+
+    def test_jobs_per_sec(self, spec, tmp_path):
+        report, store, _ = _run(spec, tmp_path, "a")
+        assert report.jobs_per_sec > 0
+        store.close()
