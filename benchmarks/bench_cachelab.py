@@ -1,0 +1,195 @@
+"""The recovery-cache policy frontier.
+
+CESRM's expedited path lives or dies by what the per-source recovery
+cache still holds when the next loss arrives, and :mod:`repro.core.cachelab`
+makes the retention policy a swept axis.  This benchmark runs every
+built-in policy family over three cache-hostile scenarios on one
+synthetic tree:
+
+* ``churn`` — flapping receiver links, so cached repliers keep going
+  stale (the paper's §4.3 motivation for eviction-on-failure),
+* ``replier_crash`` — crash/restart of well-placed receivers, stressing
+  the replier-eviction path directly, and
+* ``flash_crowd`` — a flash-crowd workload whose loss burst floods the
+  cache far past any bounded capacity.
+
+For each (scenario, policy) cell it records the cache stats block —
+inserts, the eviction taxonomy, hit rate — plus the run's expedited
+fraction, and derives the frontier the docs plot: expedited fraction
+(benefit) against eviction rate (churn cost).  Results go to
+``BENCH_cachelab.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.faults import FaultPlan
+from repro.faults.plan import LinkFlap, NodeCrash
+from repro.harness.config import SimulationConfig
+from repro.harness.runner import run_trace
+from repro.traces.synthesize import SynthesisParams, synthesize_trace
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_cachelab.json"
+
+#: Every built-in family, parameterized so bounded policies actually
+#: evict under the scenarios below.
+POLICIES = (
+    "paper:capacity=16",
+    "lru:capacity=8",
+    "lfu:capacity=8",
+    "ttl:capacity=16,ttl=2s",
+    "prob:capacity=16,p=0.5",
+    "unbounded",
+)
+
+PROTOCOL = "cesrm"
+
+
+def bench_tree():
+    params = SynthesisParams(
+        name="bench-cachelab",
+        n_receivers=10,
+        tree_depth=4,
+        period=0.05,
+        n_packets=500,
+        target_losses=170,
+    )
+    return synthesize_trace(params, seed=13)
+
+
+def scenarios(synthetic):
+    """(name, faults, workload) triples derived from the tree shape so
+    the schedule is a pure function of the synthesis seed."""
+    tree = synthetic.trace.tree
+    receivers = tree.receivers
+    flap_targets = (receivers[1], receivers[-2])
+    crash_targets = (receivers[0], receivers[len(receivers) // 2])
+    churn = FaultPlan(
+        events=tuple(
+            LinkFlap(
+                u=tree.parent(r),
+                v=r,
+                mean_up=1.5,
+                mean_down=0.6,
+                start=2.0,
+            )
+            for r in flap_targets
+        )
+    )
+    replier_crash = FaultPlan(
+        events=tuple(
+            NodeCrash(host=r, at=4.0 + 3.0 * i, restart_after=2.5)
+            for i, r in enumerate(crash_targets)
+        )
+    )
+    return (
+        ("churn", churn, None),
+        ("replier_crash", replier_crash, None),
+        ("flash_crowd", None, "flash_crowd:peak=8,ramp=2"),
+    )
+
+
+def cell_stats(block: dict) -> dict:
+    inserts = block["inserts"]
+    return {
+        "spec": block["spec"],
+        "caches": block["caches"],
+        "inserts": inserts,
+        "rejects": block["rejects"],
+        "evictions": block["evictions"],
+        "capacity_evictions": block["capacity_evictions"],
+        "replier_evictions": block["replier_evictions"],
+        "expirations": block["expirations"],
+        "hit_rate": round(block["hit_rate"], 4),
+        "expedited_fraction": round(block["expedited_fraction"], 4),
+        "eviction_rate": round(
+            (block["evictions"] + block["expirations"]) / inserts, 4
+        )
+        if inserts
+        else 0.0,
+    }
+
+
+def test_cachelab_frontier():
+    synthetic = bench_tree()
+
+    sweep = []
+    for scenario, faults, workload in scenarios(synthetic):
+        row: dict = {"scenario": scenario}
+        for spec in POLICIES:
+            config = SimulationConfig(seed=13, cache=spec)
+            result = run_trace(
+                synthetic, PROTOCOL, config, faults=faults, workload=workload
+            )
+            assert result.cache is not None
+            row[spec] = cell_stats(result.cache)
+        sweep.append(row)
+
+    # The frontier: per scenario, (eviction_rate, expedited_fraction)
+    # points per policy, sorted by cost so the docs can plot it directly.
+    frontier = {
+        row["scenario"]: sorted(
+            (
+                {
+                    "policy": spec,
+                    "eviction_rate": row[spec]["eviction_rate"],
+                    "expedited_fraction": row[spec]["expedited_fraction"],
+                }
+                for spec in POLICIES
+            ),
+            key=lambda point: point["eviction_rate"],
+        )
+        for row in sweep
+    }
+
+    payload = {
+        "suite": "cachelab",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "tree": {
+            "trace": "bench-cachelab",
+            "n_receivers": 10,
+            "n_packets": 500,
+        },
+        "protocol": PROTOCOL,
+        "policies": list(POLICIES),
+        "sweep": sweep,
+        "frontier": frontier,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    by_scenario = {row["scenario"]: row for row in sweep}
+    for row in sweep:
+        # unbounded is the zero-churn anchor of every frontier
+        unbounded = row["unbounded"]
+        assert unbounded["capacity_evictions"] == 0
+        assert unbounded["rejects"] == 0
+        for spec in POLICIES:
+            cell = row[spec]
+            assert cell["caches"] > 0
+            assert 0.0 <= cell["hit_rate"] <= 1.0
+            assert cell["evictions"] == (
+                cell["capacity_evictions"] + cell["replier_evictions"]
+            )
+    # the TTL policy is the only one that expires entries
+    flash = by_scenario["flash_crowd"]
+    assert flash["ttl:capacity=16,ttl=2s"]["expirations"] > 0
+    for spec in POLICIES:
+        if not spec.startswith("ttl"):
+            assert flash[spec]["expirations"] == 0, spec
+    # the cache is actually exercised everywhere
+    for row in sweep:
+        assert row["paper:capacity=16"]["inserts"] > 0, row["scenario"]
+
+
+def test_frontier_is_deterministic():
+    """Rerunning a stochastic cell (prob admission + flapping links)
+    reproduces the stats block byte for byte."""
+    synthetic = bench_tree()
+    _, faults, _ = scenarios(synthetic)[0]
+    config = SimulationConfig(seed=13, cache="prob:capacity=16,p=0.5")
+    first = run_trace(synthetic, PROTOCOL, config, faults=faults).cache
+    second = run_trace(synthetic, PROTOCOL, config, faults=faults).cache
+    assert first == second

@@ -56,7 +56,26 @@ from repro.traces.yajnik import FIGURE_TRACES, YAJNIK_TRACES, trace_meta
 
 # -- protocols + extension points ---------------------------------------
 from repro.core.agent import CesrmAgent
-from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.cachelab import (
+    CacheError,
+    CachePolicy,
+    CachePolicySpec,
+    CompiledCachePolicy,
+    LfuCache,
+    LruCache,
+    ProbabilisticCache,
+    RecoveryPairCache,
+    RecoveryTuple,
+    TtlCache,
+    UnboundedCache,
+    all_cache_policy_specs,
+    cache_policy_names,
+    compile_cache_policy,
+    get_cache_policy_spec,
+    make_cache_policy,
+    register_cache_policy,
+    unregister_cache_policy,
+)
 from repro.core.policies import (
     MostFrequentLossPolicy,
     MostRecentLossPolicy,
@@ -76,12 +95,19 @@ from repro.srm.constants import SrmParams
 from repro.harness.config import SimulationConfig
 from repro.harness.registry import (
     ProtocolSpec,
+    all_protocol_specs,
     all_specs,
     available_protocols,
+    get_protocol_spec,
     get_spec,
+    protocol_names,
     register,
+    register_protocol,
     unregister,
+    unregister_protocol,
 )
+from repro.harness.registries import Registry
+from repro.harness.specstr import SpecError, canonical_spec, parse_spec
 from repro.harness.runner import RunResult, Simulation, build_simulation, run_trace
 from repro.harness.report import render_recovery_timeline
 
@@ -91,6 +117,7 @@ from repro.faults import (
     FaultEvent,
     FaultInjector,
     FaultPlan,
+    FaultSpecError,
     LinkDown,
     LinkFlap,
     NodeCrash,
@@ -98,6 +125,9 @@ from repro.faults import (
     PacketReorder,
     Partition,
     SessionSuppress,
+    compile_fault_plan,
+    is_fault_spec,
+    parse_fault_event,
     sample_plan,
 )
 
@@ -114,6 +144,7 @@ from repro.workloads import (
     register_workload,
     synthesize_topology_trace,
     unregister_workload,
+    workload_names,
 )
 
 # -- verification, metrics, execution engine ----------------------------
@@ -183,6 +214,28 @@ __all__ = [
     "MostFrequentLossPolicy",
     "make_policy",
     "register_policy",
+    # cache laboratory
+    "CacheError",
+    "CachePolicy",
+    "CachePolicySpec",
+    "CompiledCachePolicy",
+    "LruCache",
+    "LfuCache",
+    "TtlCache",
+    "ProbabilisticCache",
+    "UnboundedCache",
+    "compile_cache_policy",
+    "make_cache_policy",
+    "register_cache_policy",
+    "unregister_cache_policy",
+    "get_cache_policy_spec",
+    "cache_policy_names",
+    "all_cache_policy_specs",
+    # spec-string grammar + generic registry
+    "SpecError",
+    "parse_spec",
+    "canonical_spec",
+    "Registry",
     # harness
     "SimulationConfig",
     "RunResult",
@@ -197,6 +250,11 @@ __all__ = [
     "get_spec",
     "available_protocols",
     "all_specs",
+    "register_protocol",
+    "unregister_protocol",
+    "get_protocol_spec",
+    "protocol_names",
+    "all_protocol_specs",
     # faults
     "FaultPlan",
     "FaultEvent",
@@ -210,6 +268,10 @@ __all__ = [
     "SessionSuppress",
     "EVENT_TYPES",
     "sample_plan",
+    "FaultSpecError",
+    "is_fault_spec",
+    "parse_fault_event",
+    "compile_fault_plan",
     # workloads
     "Workload",
     "WorkloadSpec",
@@ -219,6 +281,7 @@ __all__ = [
     "register_workload",
     "unregister_workload",
     "available_workloads",
+    "workload_names",
     "all_workload_specs",
     "build_topology",
     "synthesize_topology_trace",

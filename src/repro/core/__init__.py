@@ -3,7 +3,8 @@
 CESRM augments SRM with a *caching-based expedited recovery scheme* that
 runs in parallel with SRM's scheme.  Each receiver caches the optimal
 requestor/replier pair that carried out the recovery of its recent losses
-(:mod:`repro.core.cache`); on a new loss a selection policy
+(:mod:`repro.core.cachelab` — a pluggable policy laboratory whose default
+``paper`` policy is §3.1's cache); on a new loss a selection policy
 (:mod:`repro.core.policies`) picks the *expeditious* pair, and if the host
 itself is the expeditious requestor it unicasts an undelayed expedited
 request to the expeditious replier, which immediately multicasts the repair
@@ -12,7 +13,18 @@ subcast, expedited replies become localized (:mod:`repro.core.router_assist`,
 §3.3).
 """
 
-from repro.core.cache import RecoveryTuple, RecoveryPairCache
+from repro.core.cachelab import (
+    CacheError,
+    CachePolicy,
+    CachePolicySpec,
+    CompiledCachePolicy,
+    RecoveryTuple,
+    RecoveryPairCache,
+    cache_policy_names,
+    compile_cache_policy,
+    make_cache_policy,
+    register_cache_policy,
+)
 from repro.core.policies import (
     SelectionPolicy,
     MostRecentLossPolicy,
@@ -26,8 +38,16 @@ from repro.core.agent import CesrmAgent
 from repro.core.router_assist import RouterAssistedCesrmAgent
 
 __all__ = [
+    "CacheError",
+    "CachePolicy",
+    "CachePolicySpec",
+    "CompiledCachePolicy",
     "RecoveryTuple",
     "RecoveryPairCache",
+    "cache_policy_names",
+    "compile_cache_policy",
+    "make_cache_policy",
+    "register_cache_policy",
     "SelectionPolicy",
     "MostRecentLossPolicy",
     "MostFrequentLossPolicy",

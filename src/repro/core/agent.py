@@ -25,7 +25,12 @@ from __future__ import annotations
 
 import random
 
-from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.cachelab import (
+    CachePolicy,
+    CompiledCachePolicy,
+    RecoveryPairCache,
+    RecoveryTuple,
+)
 from repro.core.policies import SelectionPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.net.network import Network
@@ -53,6 +58,14 @@ class CesrmAgent(SrmAgent):
         The REORDER-DELAY guard between detecting a loss and unicasting
         the expedited request (§3.2).  The paper's simulations use 0 since
         the replayed traces are reorder-free.
+    cache_policy:
+        A compiled :mod:`repro.core.cachelab` policy; per-source caches
+        are built from it (seeded by ``cache_seed`` + host + source).
+        ``None`` — the default — means the paper's policy at
+        ``cache_capacity``, byte-identical to the pre-cachelab agent.
+    cache_seed:
+        The run seed, forwarded to policy construction so stochastic
+        policies (``prob``) draw from a dedicated deterministic stream.
     """
 
     protocol_name = "cesrm"
@@ -71,6 +84,8 @@ class CesrmAgent(SrmAgent):
         reorder_delay: float = 0.0,
         session_period: float = 1.0,
         detect_on_request: bool = True,
+        cache_policy: CompiledCachePolicy | None = None,
+        cache_seed: int = 0,
     ) -> None:
         super().__init__(
             sim=sim,
@@ -88,8 +103,11 @@ class CesrmAgent(SrmAgent):
         self.policy = policy
         self.cache_capacity = cache_capacity
         self.reorder_delay = reorder_delay
-        #: per-source optimal requestor/replier caches (§3.1).
-        self.caches: dict[str, RecoveryPairCache] = {}
+        self.cache_policy = cache_policy
+        self.cache_seed = cache_seed
+        #: per-source optimal requestor/replier caches (§3.1) — any
+        #: :mod:`repro.core.cachelab` policy; ``paper`` by default.
+        self.caches: dict[str, CachePolicy] = {}
         #: (source, seq) -> (timer, chosen tuple) for pending expedited requests.
         self._expedited: dict[tuple[str, int], tuple[Timer, RecoveryTuple]] = {}
         #: (source, seq) -> chosen tuple for expedited requests already on
@@ -115,16 +133,21 @@ class CesrmAgent(SrmAgent):
     # ------------------------------------------------------------------
     # Per-source caches
     # ------------------------------------------------------------------
-    def cache_for(self, source: str) -> RecoveryPairCache:
+    def cache_for(self, source: str) -> CachePolicy:
         """The recovery-tuple cache for ``source`` (created on demand)."""
         cache = self.caches.get(source)
         if cache is None:
-            cache = RecoveryPairCache(self.cache_capacity)
+            if self.cache_policy is None:
+                cache = RecoveryPairCache(self.cache_capacity)
+            else:
+                cache = self.cache_policy.make(
+                    seed=self.cache_seed, host=self.host_id, source=source
+                )
             self.caches[source] = cache
         return cache
 
     @property
-    def cache(self) -> RecoveryPairCache:
+    def cache(self) -> CachePolicy:
         """The primary source's cache (single-source convenience)."""
         return self.cache_for(self.primary_source)
 
@@ -132,7 +155,7 @@ class CesrmAgent(SrmAgent):
     # Hook: loss detected -> maybe act as expeditious requestor (§3.2)
     # ------------------------------------------------------------------
     def _after_loss_detected(self, src: str, seq: int, state: RequestState) -> None:
-        choice = self.policy.select(self.cache_for(src))
+        choice = self.cache_for(src).lookup(self.policy, now=self.sim.now)
         tracer = self.sim.tracer
         if choice is None:
             if tracer is not None:
@@ -306,9 +329,11 @@ class CesrmAgent(SrmAgent):
             return  # did not suffer this loss -> discard (§3.1)
         if packet.requestor is None or packet.replier is None:
             return  # unannotated reply (foreign/legacy); nothing to cache
-        self.cache_for(src).observe(self._tuple_from_reply(packet))
-        if self.sim.tracer is not None:
-            self.sim.tracer.emit(
+        cache = self.cache_for(src)
+        cache.observe(self._tuple_from_reply(packet), now=self.sim.now)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
                 self.sim.now,
                 EventKind.CACHE_UPDATE,
                 node=self.host_id,
@@ -317,6 +342,30 @@ class CesrmAgent(SrmAgent):
                 requestor=packet.requestor,
                 replier=packet.replier,
             )
+            # cache.insert / cache.evict (capacity) events only exist on
+            # non-default cache policies: default traced runs must stay
+            # byte-identical to the pre-cachelab event stream.
+            if self.cache_policy is not None:
+                if cache.last_outcome == "insert":
+                    tracer.emit(
+                        self.sim.now,
+                        EventKind.CACHE_INSERT,
+                        node=self.host_id,
+                        source=src,
+                        seqno=seq,
+                        requestor=packet.requestor,
+                        replier=packet.replier,
+                    )
+                if cache.last_evicted is not None:
+                    tracer.emit(
+                        self.sim.now,
+                        EventKind.CACHE_EVICT,
+                        node=self.host_id,
+                        source=src,
+                        seqno=cache.last_evicted,
+                        reason="capacity",
+                        evicted=1,
+                    )
 
     def _tuple_from_reply(self, packet: Packet) -> RecoveryTuple:
         return RecoveryTuple(

@@ -1,130 +1,31 @@
-"""The per-source optimal requestor/replier cache (§3.1).
+"""Deprecated shim — the recovery cache moved to :mod:`repro.core.cachelab`.
 
-Each receiver keeps, per source, the requestor/replier pairs that carried
-out the recovery of its most recent losses, as tuples
-``⟨i, q, d_qs, r, d_rq⟩``: packet sequence number, requestor, requestor's
-distance to the source, replier, and replier's distance to the requestor.
-
-When a packet is recovered by several request/reply exchanges, only the
-*optimal* pair is kept — the one minimizing the **recovery delay**
-``d_qs + 2·d_rq`` (requestor close to the source detects early; replier
-close to the requestor repairs fast).
-
-Update rules on receiving a reply for packet ``i`` (§3.1):
-
-* the host did not suffer the loss of ``i`` → discard;
-* cache full and ``i`` older than every cached packet → discard;
-* no tuple for ``i`` cached → insert (evicting the least recent packet's
-  tuple when full);
-* tuple for ``i`` cached → keep whichever of the two is optimal.
+The per-source optimal requestor/replier cache (§3.1) became one policy
+("paper", still the default) among several in the recovery-cache
+laboratory.  :class:`~repro.core.cachelab.RecoveryPairCache` and
+:class:`~repro.core.cachelab.RecoveryTuple` live there now, unchanged in
+behavior; importing them from this module still works but warns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from typing import Any
+
+_MOVED = ("RecoveryPairCache", "RecoveryTuple")
+
+__all__ = list(_MOVED)
 
 
-@dataclass(frozen=True)
-class RecoveryTuple:
-    """One cached recovery: ``⟨i, q, d_qs, r, d_rq⟩`` (§3.1), optionally
-    extended with the §3.3 turning-point router annotation."""
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.cache.{name} moved to repro.core.cachelab; "
+            f"import it from there (this shim will be removed)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import cachelab
 
-    seqno: int
-    requestor: str
-    requestor_to_source: float
-    replier: str
-    replier_to_requestor: float
-    turning_point: str | None = None
-
-    @property
-    def recovery_delay(self) -> float:
-        """The §3.1 optimality metric ``d_qs + 2·d_rq``."""
-        return self.requestor_to_source + 2.0 * self.replier_to_requestor
-
-    @property
-    def pair(self) -> tuple[str, str]:
-        """The requestor/replier pair."""
-        return (self.requestor, self.replier)
-
-
-class RecoveryPairCache:
-    """A bounded cache of optimal recovery tuples, keyed by packet.
-
-    "Recency" is packet sequence order: the least recent packet is the one
-    with the smallest sequence number (the transmission is in sequence
-    order, so sequence order is loss order).
-    """
-
-    def __init__(self, capacity: int = 16) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
-        self.capacity = capacity
-        self._entries: dict[int, RecoveryTuple] = {}
-        self.inserts = 0
-        self.improvements = 0
-        self.rejects = 0
-        self.evictions = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, seqno: int) -> bool:
-        return seqno in self._entries
-
-    def get(self, seqno: int) -> RecoveryTuple | None:
-        return self._entries.get(seqno)
-
-    def entries(self) -> list[RecoveryTuple]:
-        """Cached tuples, most recent packet first."""
-        return [self._entries[s] for s in sorted(self._entries, reverse=True)]
-
-    def observe(self, candidate: RecoveryTuple) -> bool:
-        """Apply the §3.1 update rules for a reply's recovery tuple.
-
-        The caller is responsible for the "host suffered this loss" check.
-        Returns True if the cache changed.
-        """
-        seqno = candidate.seqno
-        existing = self._entries.get(seqno)
-        if existing is not None:
-            if candidate.recovery_delay < existing.recovery_delay:
-                self._entries[seqno] = candidate
-                self.improvements += 1
-                return True
-            return False
-        if len(self._entries) >= self.capacity:
-            oldest = min(self._entries)
-            if seqno < oldest:
-                self.rejects += 1
-                return False  # less recent than everything cached
-            del self._entries[oldest]
-        self._entries[seqno] = candidate
-        self.inserts += 1
-        return True
-
-    def evict_replier(self, host: str) -> int:
-        """Drop every cached tuple whose replier is ``host`` (observed
-        failing to serve an expedited request).  Returns how many entries
-        were evicted; the pair must then be relearned from live replies.
-        """
-        stale = [seqno for seqno, entry in self._entries.items() if entry.replier == host]
-        for seqno in stale:
-            del self._entries[seqno]
-        self.evictions += len(stale)
-        return len(stale)
-
-    def most_recent(self) -> RecoveryTuple | None:
-        """The tuple of the most recent recovered loss, if any."""
-        if not self._entries:
-            return None
-        return self._entries[max(self._entries)]
-
-    def pair_frequencies(self) -> dict[tuple[str, str], int]:
-        """How often each requestor/replier pair appears in the cache."""
-        freq: dict[tuple[str, str], int] = {}
-        for entry in self._entries.values():
-            freq[entry.pair] = freq.get(entry.pair, 0) + 1
-        return freq
-
-    def clear(self) -> None:
-        self._entries.clear()
+        return getattr(cachelab, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

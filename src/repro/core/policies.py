@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import abc
 
-from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.cachelab import CachePolicy, RecoveryTuple
+from repro.harness.registries import Registry
 
 
 class SelectionPolicy(abc.ABC):
@@ -28,7 +29,7 @@ class SelectionPolicy(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+    def select(self, cache: CachePolicy) -> RecoveryTuple | None:
         """The expeditious recovery tuple, or None when the cache offers
         no usable pair (then only SRM's scheme runs for this loss)."""
 
@@ -38,7 +39,7 @@ class MostRecentLossPolicy(SelectionPolicy):
 
     name = "most-recent"
 
-    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+    def select(self, cache: CachePolicy) -> RecoveryTuple | None:
         return cache.most_recent()
 
 
@@ -52,7 +53,7 @@ class MostFrequentLossPolicy(SelectionPolicy):
 
     name = "most-frequent"
 
-    def select(self, cache: RecoveryPairCache) -> RecoveryTuple | None:
+    def select(self, cache: CachePolicy) -> RecoveryTuple | None:
         entries = cache.entries()  # most recent first
         if not entries:
             return None
@@ -71,14 +72,15 @@ class MostFrequentLossPolicy(SelectionPolicy):
 
 
 #: Registry of policies by CLI/config name; extend via register_policy.
-_REGISTRY: dict[str, type[SelectionPolicy]] = {
-    MostRecentLossPolicy.name: MostRecentLossPolicy,
-    MostFrequentLossPolicy.name: MostFrequentLossPolicy,
-}
+#: (One shared :class:`~repro.harness.registries.Registry` instance —
+#: the same helper behind protocols, workloads, and cache policies.)
+_REGISTRY: Registry[type[SelectionPolicy]] = Registry("policy")
+_REGISTRY.register(MostRecentLossPolicy)
+_REGISTRY.register(MostFrequentLossPolicy)
 
 #: The built-in policy names (a snapshot; see policy_names() for the live
 #: registry including user registrations).
-POLICY_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+POLICY_NAMES: tuple[str, ...] = _REGISTRY.names()
 
 
 def register_policy(policy_cls: type[SelectionPolicy]) -> type[SelectionPolicy]:
@@ -93,20 +95,19 @@ def register_policy(policy_cls: type[SelectionPolicy]) -> type[SelectionPolicy]:
     name = policy_cls.name
     if not name or name == SelectionPolicy.name:
         raise ValueError("policy classes must define a unique `name`")
-    _REGISTRY[name] = policy_cls
-    return policy_cls
+    return _REGISTRY.register(policy_cls, replace=True)
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy (primarily for tests cleaning up)."""
+    _REGISTRY.unregister(name)
 
 
 def policy_names() -> tuple[str, ...]:
     """All currently registered policy names."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def make_policy(name: str) -> SelectionPolicy:
     """Instantiate a registered policy by name."""
-    try:
-        return _REGISTRY[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; known: {policy_names()}"
-        ) from None
+    return _REGISTRY.get(name)()

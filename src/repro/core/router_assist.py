@@ -27,7 +27,7 @@ router state; and SRM's scheme still runs underneath as the fall-back.
 from __future__ import annotations
 
 from repro.core.agent import CesrmAgent
-from repro.core.cache import RecoveryTuple
+from repro.core.cachelab import RecoveryTuple
 from repro.net.packet import Packet
 
 

@@ -65,6 +65,10 @@ class CacheEntry:
     #: *and* for entries written before workload support existed (the
     #: pre-workload wire format had no ``workload`` key).
     workload: str = ""
+    #: Cache-policy spec of the stored run; ``""`` for default-policy runs
+    #: *and* for entries written before cachelab existed (the pre-cachelab
+    #: wire format had no ``cache`` key in the config).
+    cache: str = ""
     #: Last-modified time of the entry file (what ``prune`` ages on).
     mtime: float = 0.0
 
@@ -175,6 +179,7 @@ class RunCache:
                         fingerprint=payload.get("fingerprint", ""),
                         size_bytes=stat.st_size,
                         workload=job.get("workload", ""),
+                        cache=job["config"].get("cache", ""),
                         mtime=stat.st_mtime,
                     )
                 )

@@ -123,9 +123,12 @@ class RunJob:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
+        parts = [self.protocol, self.trace]
         if self.workload:
-            return f"{self.protocol}/{self.trace}/{self.workload}"
-        return f"{self.protocol}/{self.trace}"
+            parts.append(self.workload)
+        if self.config.cache:
+            parts.append(f"cache={self.config.cache}")
+        return "/".join(parts)
 
 
 def synthesize_job_trace(

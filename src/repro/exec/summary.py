@@ -34,14 +34,25 @@ SCHEMA_VERSION = 1
 
 
 def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
-    """``SimulationConfig`` (with nested ``SrmParams``) as plain JSON data."""
-    return asdict(config)
+    """``SimulationConfig`` (with nested ``SrmParams``) as plain JSON data.
+
+    The ``cache`` policy spec is omitted when default (``""``) so
+    default-config job keys and summaries stay byte-identical to
+    pre-cachelab builds — the same discipline as the optional
+    ``faults``/``workload`` summary blocks.
+    """
+    data = asdict(config)
+    if not data["cache"]:
+        del data["cache"]
+    return data
 
 
 def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
-    """Inverse of :func:`config_to_dict`."""
+    """Inverse of :func:`config_to_dict` (accepts the pre-cachelab wire
+    format: a missing ``cache`` key means the default policy)."""
     payload = dict(data)
     payload["params"] = SrmParams(**payload["params"])
+    payload.setdefault("cache", "")
     return SimulationConfig(**payload)
 
 
@@ -89,6 +100,12 @@ class RunSummary:
     #: on default-schedule runs, so those summaries stay byte-identical to
     #: pre-workload builds.
     workload: dict[str, Any] | None = None
+    #: Per-policy cache statistics (inserts / improvements / rejects /
+    #: evictions / hit rate / expedited fraction / per-source occupancy)
+    #: of a run with an explicit :mod:`repro.core.cachelab` policy; None
+    #: (and omitted from the JSON form) on default-cache runs, so those
+    #: summaries stay byte-identical to pre-cachelab builds.
+    cache: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # RunResult <-> RunSummary
@@ -139,6 +156,7 @@ class RunSummary:
             obs=result.obs,
             faults=result.faults,
             workload=result.workload,
+            cache=result.cache,
         )
 
     def to_result(self) -> RunResult:
@@ -185,6 +203,7 @@ class RunSummary:
             obs=self.obs,
             faults=self.faults,
             workload=self.workload,
+            cache=self.cache,
         )
 
     # ------------------------------------------------------------------
@@ -198,6 +217,8 @@ class RunSummary:
             del data["faults"]  # likewise for fault-free summaries
         if data["workload"] is None:
             del data["workload"]  # likewise for default-schedule runs
+        if data["cache"] is None:
+            del data["cache"]  # likewise for default-cache-policy runs
         return data
 
     @classmethod

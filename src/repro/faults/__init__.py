@@ -27,10 +27,20 @@ from repro.faults.plan import (
     event_from_dict,
     sample_plan,
 )
+from repro.faults.spec import (
+    FaultSpecError,
+    compile_fault_plan,
+    is_fault_spec,
+    parse_fault_event,
+)
 
 __all__ = [
     "DROP",
     "EVENT_TYPES",
+    "FaultSpecError",
+    "compile_fault_plan",
+    "is_fault_spec",
+    "parse_fault_event",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

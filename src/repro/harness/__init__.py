@@ -2,6 +2,11 @@
 
 * :mod:`repro.harness.config` — one immutable config for a run (§4.3's
   simulation setup is the default).
+* :mod:`repro.harness.specstr` — the shared ``family:key=value`` spec
+  grammar every pluggable surface (workloads, topologies, faults, cache
+  policies) parses through.
+* :mod:`repro.harness.registries` — the generic name -> spec registry
+  those surfaces register into.
 * :mod:`repro.harness.registry` — the pluggable protocol-session registry
   (:class:`ProtocolSpec`); every protocol the harness runs ships through it.
 * :mod:`repro.harness.runner` — builds a simulation (tree, network,
@@ -11,20 +16,29 @@
 * :mod:`repro.harness.analysis` — the §3.4 closed-form latency model.
 * :mod:`repro.harness.report` — ASCII rendering of tables and bar series.
 * :mod:`repro.harness.cli` — the ``cesrm`` command-line entry point.
+
+Exports resolve lazily (PEP 562): protocol specs reference agent classes
+in :mod:`repro.core`, and :mod:`repro.core.cachelab` uses the shared
+grammar/registry modules here — loading them on first attribute access
+instead of at package import keeps that mutual dependency acyclic.
 """
 
+import importlib
 from typing import Any
 
-from repro.harness.config import SimulationConfig
-from repro.harness.registry import (
-    ProtocolSpec,
-    all_specs,
-    available_protocols,
-    get_spec,
-    register,
-    unregister,
-)
-from repro.harness.runner import RunResult, run_trace, build_simulation
+#: name -> (module, attribute); resolved on first access.
+_EXPORTS = {
+    "SimulationConfig": ("repro.harness.config", "SimulationConfig"),
+    "ProtocolSpec": ("repro.harness.registry", "ProtocolSpec"),
+    "all_specs": ("repro.harness.registry", "all_specs"),
+    "available_protocols": ("repro.harness.registry", "available_protocols"),
+    "get_spec": ("repro.harness.registry", "get_spec"),
+    "register": ("repro.harness.registry", "register"),
+    "unregister": ("repro.harness.registry", "unregister"),
+    "RunResult": ("repro.harness.runner", "RunResult"),
+    "run_trace": ("repro.harness.runner", "run_trace"),
+    "build_simulation": ("repro.harness.runner", "build_simulation"),
+}
 
 __all__ = [
     "SimulationConfig",
@@ -47,4 +61,13 @@ def __getattr__(name: str) -> Any:
         from repro.harness import config
 
         return config.PROTOCOLS
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -16,7 +16,10 @@ single protocol/trace pair:
     $ cesrm faults --faults plan.json --protocol cesrm
     $ cesrm protocols
     $ cesrm workloads
+    $ cesrm caches
     $ cesrm run --workload zipf:alpha=1.1,objects=500
+    $ cesrm run --cache lru:capacity=8 --workload flash_crowd:peak=20x
+    $ cesrm run --faults 'link-down:u=r0,v=r1,at=2,duration=5'
     $ cesrm run --trace tree:depth=3,fanout=4 --workload flash_crowd:peak=20x
     $ cesrm all --jobs 8
     $ cesrm cache
@@ -56,6 +59,16 @@ registered families and their parameters.  Workload and topology specs
 fold into the run-cache digests, so every combination caches
 independently; the default (no ``--workload``) stays byte-identical to
 pre-workload builds.
+
+Cache policies (:mod:`repro.core.cachelab`): ``--cache SPEC`` swaps
+CESRM's recovery-pair cache for any registered policy —
+``lru:capacity=16``, ``lfu:capacity=16``, ``ttl:capacity=16,ttl=30s``,
+``prob:capacity=16,p=0.5``, ``unbounded`` — through the same
+family:key=value grammar as workloads.  ``cesrm caches`` lists the
+registered policies; per-policy statistics (inserts, evictions, hit
+rate, per-source occupancy) land in the ``run`` output and sweep store.
+The default (no ``--cache``) is the paper's seqno-ordered cache and
+stays byte-identical to pre-cachelab builds.
 
 The ``trace`` command (and ``run`` with ``--trace-out``/``--profile``)
 attaches the :mod:`repro.obs` instrumentation: it records the run's full
@@ -104,6 +117,7 @@ COMMANDS = (
     "faults",
     "protocols",
     "workloads",
+    "caches",
     "cache",
     "sweep",
     "bench",
@@ -143,6 +157,19 @@ def _workload_arg(value: str) -> str:
     try:
         compile_workload(value)
     except WorkloadError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _cache_policy_arg(value: str) -> str:
+    """``--cache`` validates the policy spec eagerly, like ``--workload``."""
+    from repro.core.cachelab import CacheError, compile_cache_policy
+
+    if not value:
+        return value
+    try:
+        compile_cache_policy(value)
+    except CacheError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return value
 
@@ -197,11 +224,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol for the `run` command",
     )
     parser.add_argument(
+        "--cache",
+        default="",
+        type=_cache_policy_arg,
+        metavar="SPEC",
+        help="recovery-cache policy spec for CESRM runs, e.g. "
+        "lru:capacity=16 or ttl:capacity=16,ttl=30s (default: the paper's "
+        "seqno-ordered cache; `cesrm caches` lists the policies)",
+    )
+    parser.add_argument(
         "--faults",
         default=None,
-        metavar="PLAN.json",
-        help="with `run`/`trace`/`timeline`/`faults`: execute this "
-        "FaultPlan JSON file during the run",
+        metavar="PLAN",
+        help="with `run`/`trace`/`timeline`/`faults`: execute this fault "
+        "schedule — a FaultPlan JSON file, or an inline spec string like "
+        "'link-down:u=r0,v=r1,at=2,duration=5;node-crash:host=r2,at=4'",
     )
     parser.add_argument(
         "--sample",
@@ -268,8 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="with `protocols`/`workloads`/`faults`: machine-readable JSON "
-        "listings (for tools generating or validating sweep specs)",
+        help="with `protocols`/`workloads`/`faults`/`caches`: machine-"
+        "readable JSON listings (for tools generating or validating sweep "
+        "specs)",
     )
     parser.add_argument(
         "--store",
@@ -380,13 +418,30 @@ def _cache(args: argparse.Namespace) -> RunCache | None:
 
 
 def _fault_plan(args: argparse.Namespace):
-    """The FaultPlan named on the command line (empty plan when absent)."""
-    from repro.faults import FaultPlan, sample_plan
+    """The FaultPlan named on the command line (empty plan when absent).
+
+    ``--faults`` accepts either a FaultPlan JSON file or an inline spec
+    string (``link-down:u=r0,v=r1,at=2,duration=5;...``) — the same
+    family:key=value grammar as workload and cache-policy specs.
+    """
+    from repro.faults import (
+        FaultPlan,
+        FaultSpecError,
+        compile_fault_plan,
+        is_fault_spec,
+        sample_plan,
+    )
 
     if getattr(args, "sample", False):
         return sample_plan()
-    if getattr(args, "faults", None):
-        return FaultPlan.load(args.faults)
+    target = getattr(args, "faults", None)
+    if target:
+        if is_fault_spec(target):
+            try:
+                return compile_fault_plan(target)
+            except FaultSpecError as exc:
+                raise SystemExit(str(exc)) from None
+        return FaultPlan.load(target)
     return FaultPlan()
 
 
@@ -408,6 +463,7 @@ def _context(args: argparse.Namespace) -> exp.ExperimentContext:
         progress=progress,
         faults=_fault_plan(args),
         workload=getattr(args, "workload", ""),
+        cache_policy=getattr(args, "cache", ""),
     )
     if getattr(args, "verify", False):
         ctx.config = ctx.config.with_(verify_period=0.05)
@@ -491,6 +547,8 @@ def main(argv: list[str] | None = None) -> int:
         out.append(_protocols_command(as_json=args.json))
     if args.command == "workloads":
         out.append(_workloads_command(as_json=args.json))
+    if args.command == "caches":
+        out.append(_caches_command(as_json=args.json))
 
     print("\n\n".join(out))
     cache = ctx.engine.cache
@@ -631,9 +689,11 @@ def _cache_command(args: argparse.Namespace) -> str:
         marker = "ok " if entry.fingerprint == fingerprint else "old"
         cap = "full" if entry.max_packets is None else entry.max_packets
         workload = f" workload={entry.workload}" if entry.workload else ""
+        policy = f" cache={entry.cache}" if entry.cache else ""
         lines.append(
             f"  [{marker}] {entry.protocol:>12} {entry.trace:<10} "
-            f"seed={entry.seed} cap={cap}{workload} ({entry.size_bytes} B)"
+            f"seed={entry.seed} cap={cap}{workload}{policy} "
+            f"({entry.size_bytes} B)"
         )
     return "\n".join(lines)
 
@@ -769,7 +829,6 @@ def _faults_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str
     faults next to the recovery outcome.
     """
     if args.json:
-        import json
         from dataclasses import fields as dc_fields
 
         from repro.faults.plan import EVENT_TYPES
@@ -787,7 +846,7 @@ def _faults_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str
         }
         if not ctx.faults.empty:
             payload["plan"] = ctx.faults.to_dict()
-        return json.dumps(payload, indent=2, sort_keys=True)
+        return _listing_json(payload)
     plan = ctx.faults
     if plan.empty:
         return (
@@ -817,12 +876,34 @@ def _faults_command(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str
     return "\n".join(lines)
 
 
+def _listing_json(payload) -> str:
+    """The one JSON rendering behind every ``cesrm <registry> --json``
+    listing (protocols/workloads/faults/caches), so tools see a uniform
+    serialization (stable key order, two-space indent)."""
+    import json
+
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _spec_lines(specs, *, width: int, extras=None, params: bool = False):
+    """Uniform text rows for a registry listing: one right-aligned name +
+    description per spec, tag suffixes, and (``params=True``) indented
+    parameter docs underneath."""
+    lines = []
+    for spec in specs:
+        tags = list(extras(spec)) if extras is not None else list(spec.tags)
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        lines.append(f"  {spec.name:>{width}s}  {spec.description}{suffix}")
+        if params:
+            for key, doc in spec.params_doc.items():
+                lines.append(f"  {'':>{width}s}    {key}: {doc}")
+    return lines
+
+
 def _protocols_command(as_json: bool = False) -> str:
     """List every protocol the registry knows (``--json`` for tools)."""
     if as_json:
-        import json
-
-        return json.dumps(
+        return _listing_json(
             {
                 "protocols": [
                     {
@@ -833,20 +914,18 @@ def _protocols_command(as_json: bool = False) -> str:
                     }
                     for spec in all_specs()
                 ]
-            },
-            indent=2,
-            sort_keys=True,
+            }
         )
-    lines = ["registered protocols:"]
-    for spec in all_specs():
-        extras = []
-        if spec.fabric_factory is not None:
-            extras.append("fabric")
-        if spec.tags:
-            extras.extend(spec.tags)
-        suffix = f"  [{', '.join(extras)}]" if extras else ""
-        lines.append(f"  {spec.name:>12s}  {spec.description}{suffix}")
-    return "\n".join(lines)
+
+    def extras(spec):
+        return (["fabric"] if spec.fabric_factory is not None else []) + list(
+            spec.tags
+        )
+
+    return "\n".join(
+        ["registered protocols:"]
+        + _spec_lines(all_specs(), width=12, extras=extras)
+    )
 
 
 def _workloads_command(as_json: bool = False) -> str:
@@ -854,9 +933,7 @@ def _workloads_command(as_json: bool = False) -> str:
     from repro.workloads import all_workload_specs
 
     if as_json:
-        import json
-
-        return json.dumps(
+        return _listing_json(
             {
                 "workloads": [
                     {
@@ -879,20 +956,42 @@ def _workloads_command(as_json: bool = False) -> str:
                         },
                     }
                 ],
-            },
-            indent=2,
-            sort_keys=True,
+            }
         )
     lines = ["registered workloads (cesrm run --workload <family>[:k=v,...]):"]
-    for spec in all_workload_specs():
-        suffix = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
-        lines.append(f"  {spec.name:>14s}  {spec.description}{suffix}")
-        for key, doc in spec.params_doc.items():
-            lines.append(f"  {'':>14s}    {key}: {doc}")
+    lines.extend(_spec_lines(all_workload_specs(), width=14, params=True))
     lines.append("")
     lines.append(
         "topology specs (the --trace slot): tree:depth=D,fanout=F"
         "[,loss=0.05,period=0.08,packets=1000]"
+    )
+    return "\n".join(lines)
+
+
+def _caches_command(as_json: bool = False) -> str:
+    """List every recovery-cache policy the cachelab registry knows."""
+    from repro.core.cachelab import all_cache_policy_specs
+
+    if as_json:
+        return _listing_json(
+            {
+                "caches": [
+                    {
+                        "name": spec.name,
+                        "description": spec.description,
+                        "params": dict(spec.params_doc),
+                        "tags": list(spec.tags),
+                    }
+                    for spec in all_cache_policy_specs()
+                ]
+            }
+        )
+    lines = ["registered cache policies (cesrm run --cache <family>[:k=v,...]):"]
+    lines.extend(_spec_lines(all_cache_policy_specs(), width=10, params=True))
+    lines.append("")
+    lines.append(
+        "the default (no --cache) is the paper's seqno-ordered cache at "
+        "capacity 16; explicit specs fold into run-cache digests"
     )
     return "\n".join(lines)
 
@@ -1082,6 +1181,27 @@ def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
                 f"{w['latency_p90'] * 1000:.0f}/{w['latency_p99'] * 1000:.0f} ms"
             )
         lines.append(line)
+    if result.cache is not None:
+        c = result.cache
+        lines.append(
+            f"  cache {c['spec']}: {c['inserts']} inserts "
+            f"({c['improvements']} improved, {c['rejects']} rejected), "
+            f"{c['evictions']} evictions "
+            f"({c['capacity_evictions']} capacity, "
+            f"{c['replier_evictions']} replier, "
+            f"{c['expirations']} expired)"
+        )
+        lines.append(
+            f"    lookups {c['lookups']}, hit rate "
+            f"{100 * c['hit_rate']:.0f}%, expedited fraction "
+            f"{100 * c['expedited_fraction']:.0f}%"
+        )
+        if c["occupancy"]:
+            occ = ", ".join(
+                f"{source}={count}"
+                for source, count in sorted(c["occupancy"].items())
+            )
+            lines.append(f"    occupancy by source: {occ}")
     if traced:
         if args.trace_out:
             lines.append(f"  event stream written to {args.trace_out}")

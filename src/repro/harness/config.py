@@ -48,6 +48,12 @@ class SimulationConfig:
     reorder_delay: float = 0.0
     #: Recovery-tuple cache capacity (most-recent-loss needs only 1).
     cache_capacity: int = 16
+    #: Recovery-cache policy spec (see repro.core.cachelab), e.g.
+    #: ``"lru:capacity=8"`` or ``"ttl:capacity=16,ttl=30s"``.  The empty
+    #: string — the default — means the paper's policy at
+    #: ``cache_capacity`` and keeps runs byte-identical to pre-cachelab
+    #: output (the field is omitted from job keys and summaries).
+    cache: str = ""
     #: Expeditious-pair selection policy name (see repro.core.policies).
     policy: str = "most-recent"
     #: Detect losses from foreign repair requests (ns-2 SRM behaviour).
@@ -81,6 +87,14 @@ class SimulationConfig:
             raise ValueError("reorder_delay must be non-negative")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be >= 1")
+        if self.cache:
+            # Eager validation: a typo'd policy spec fails at config
+            # construction, before any job is keyed or simulation built.
+            # (Imported lazily — cachelab itself depends on the harness's
+            # shared spec grammar.)
+            from repro.core.cachelab import compile_cache_policy
+
+            compile_cache_policy(self.cache)
         if self.warmup_periods < 0:
             raise ValueError("warmup_periods must be non-negative")
         if self.drain_time < 0:

@@ -74,6 +74,7 @@ class ExperimentContext:
         progress=None,
         faults: FaultPlan | None = None,
         workload: str = "",
+        cache_policy: str = "",
     ) -> None:
         if max_packets == "default":
             max_packets = default_max_packets()
@@ -86,9 +87,15 @@ class ExperimentContext:
             from repro.workloads import compile_workload
 
             compile_workload(workload)
+        # ``cache`` is already taken by the RunCache handle, so the recovery
+        # cache-policy spec rides in as ``cache_policy`` and folds into the
+        # config (where SimulationConfig validates it eagerly).
+        self.cache_policy = cache_policy
         self.config = (config or SimulationConfig()).with_(
             seed=seed, max_packets=self.max_packets
         )
+        if cache_policy:
+            self.config = self.config.with_(cache=cache_policy)
         self.engine = ExecutionEngine(jobs=jobs, cache=cache, progress=progress)
         self._traces: dict[str, SyntheticTrace] = {}
         self._runs: dict[tuple[str, str, SimulationConfig], RunResult] = {}

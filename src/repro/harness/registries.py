@@ -1,0 +1,80 @@
+"""The generic name -> spec registry behind every pluggable surface.
+
+The repo grew four registries with near-identical mechanics — protocols
+(:class:`~repro.harness.registry.ProtocolSpec`), workloads
+(:class:`~repro.workloads.registry.WorkloadSpec`), §3.2 selection
+policies, and cache policies
+(:class:`~repro.core.cachelab.CachePolicySpec`).  :class:`Registry` is
+the one implementation they all delegate to: ordered registration,
+``replace=`` guarded re-registration, and unknown-name errors that list
+the known names.  Each surface keeps its own error type and noun, so
+messages stay exactly what they were before the unification (pinned by
+tests).
+
+Anything with a ``name`` attribute registers — frozen spec dataclasses
+and plain classes alike.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+S = TypeVar("S")
+
+
+class Registry(Generic[S]):
+    """An insertion-ordered name -> spec mapping with uniform errors.
+
+    ``kind`` is the noun used in messages ("protocol", "workload",
+    "cache policy"); ``error`` the exception class raised for duplicate
+    or unknown names.
+    """
+
+    def __init__(self, kind: str, error: type[Exception] = ValueError):
+        self.kind = kind
+        self.error = error
+        self._specs: dict[str, S] = {}
+
+    def register(self, spec: S, replace: bool = False) -> S:
+        """Add ``spec`` under ``spec.name``.  Re-registering an existing
+        name is an error unless ``replace=True`` (tests swapping in
+        doubles)."""
+        name = spec.name  # type: ignore[attr-defined]
+        if not replace and name in self._specs:
+            raise self.error(f"{self.kind} {name!r} is already registered")
+        self._specs[name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a spec (primarily for tests cleaning up doubles)."""
+        self._specs.pop(name, None)
+
+    def get(self, name: str) -> S:
+        """The spec registered under ``name``; raises ``self.error`` (with
+        the known names) otherwise — each surface's single validation
+        point."""
+        spec = self._specs.get(name)
+        if spec is None:
+            raise self.error(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            )
+        return spec
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._specs)
+
+    def specs(self) -> tuple[S, ...]:
+        return tuple(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+
+__all__ = ["Registry"]

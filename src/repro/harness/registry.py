@@ -30,9 +30,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.agent import CesrmAgent
+from repro.core.cachelab import compile_cache_policy
 from repro.core.policies import make_policy
 from repro.core.router_assist import RouterAssistedCesrmAgent
 from repro.harness.config import SimulationConfig
+from repro.harness.registries import Registry
 from repro.lms.agent import LmsAgent
 from repro.lms.fabric import LmsFabric
 from repro.net.topology import MulticastTree
@@ -76,52 +78,64 @@ class ProtocolSpec:
         return self.crash_hook(fabric)
 
 
-_REGISTRY: dict[str, ProtocolSpec] = {}
+#: One shared :class:`~repro.harness.registries.Registry` instance — the
+#: same helper behind workloads, selection policies, and cache policies.
+_REGISTRY: Registry[ProtocolSpec] = Registry("protocol")
 
 
 def register(spec: ProtocolSpec, replace: bool = False) -> ProtocolSpec:
     """Add ``spec`` to the registry.  Re-registering an existing name is an
     error unless ``replace=True`` (tests swapping in doubles)."""
-    if not replace and spec.name in _REGISTRY:
-        raise ValueError(f"protocol {spec.name!r} is already registered")
-    _REGISTRY[spec.name] = spec
-    return spec
+    return _REGISTRY.register(spec, replace=replace)
 
 
 def unregister(name: str) -> None:
     """Remove a protocol (primarily for tests cleaning up doubles)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def get_spec(name: str) -> ProtocolSpec:
     """The spec registered under ``name``; raises ``ValueError`` (with the
     known names) otherwise — the runner's single validation point."""
-    spec = _REGISTRY.get(name)
-    if spec is None:
-        raise ValueError(
-            f"unknown protocol {name!r}; known: {available_protocols()}"
-        )
-    return spec
+    return _REGISTRY.get(name)
 
 
 def available_protocols() -> tuple[str, ...]:
     """Registered protocol names, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def all_specs() -> tuple[ProtocolSpec, ...]:
-    return tuple(_REGISTRY.values())
+    return _REGISTRY.specs()
+
+
+# Consistent `register_* / *_names / get_*_spec` aliases matching the
+# other registries (the original shorter names remain fully supported).
+register_protocol = register
+unregister_protocol = unregister
+get_protocol_spec = get_spec
+protocol_names = available_protocols
+all_protocol_specs = all_specs
 
 
 # ----------------------------------------------------------------------
 # Built-in protocols
 # ----------------------------------------------------------------------
 def _cesrm_kwargs(config: SimulationConfig) -> dict[str, Any]:
-    return dict(
+    kwargs = dict(
         policy=make_policy(config.policy),
         cache_capacity=config.cache_capacity,
         reorder_delay=config.reorder_delay,
     )
+    if config.cache:
+        # Non-default recovery-cache policy: compile once per run; every
+        # agent builds its per-source caches from the compiled policy,
+        # seeded by the run seed (stochastic admission stays isolated
+        # from protocol jitter).  The default ("") path passes nothing,
+        # keeping agent construction byte-identical to pre-cachelab runs.
+        kwargs["cache_policy"] = compile_cache_policy(config.cache)
+        kwargs["cache_seed"] = config.seed
+    return kwargs
 
 
 register(
@@ -178,9 +192,14 @@ register(
 
 __all__ = [
     "ProtocolSpec",
+    "all_protocol_specs",
     "all_specs",
     "available_protocols",
+    "get_protocol_spec",
     "get_spec",
+    "protocol_names",
     "register",
+    "register_protocol",
     "unregister",
+    "unregister_protocol",
 ]

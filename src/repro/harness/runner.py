@@ -67,6 +67,11 @@ class RunResult:
     #: :mod:`repro.workloads` spec; None on a default-schedule run (keeping
     #: those summaries byte-identical to builds without workload support).
     workload: dict | None = None
+    #: Per-policy recovery-cache statistics when the run used an explicit
+    #: :mod:`repro.core.cachelab` spec (``config.cache``); None on
+    #: default-cache runs (keeping those summaries byte-identical to
+    #: builds without cachelab support).
+    cache: dict | None = None
 
     # ------------------------------------------------------------------
     # Figure-level derived quantities
@@ -349,6 +354,7 @@ def run_trace(
             if simulation.workload is not None
             else None
         ),
+        cache=_cache_stats(simulation, metrics) if config.cache else None,
     )
 
 
@@ -358,6 +364,57 @@ def _workload_stats(simulation: Simulation, metrics: MetricsCollector) -> dict:
     return workload_run_stats(
         simulation.workload, simulation.send_events, metrics, simulation.trace.trace
     )
+
+
+def _cache_stats(simulation: Simulation, metrics: MetricsCollector) -> dict:
+    """Aggregate per-policy cache counters across every agent holding
+    per-source caches (CESRM variants), plus the run's expedited
+    fraction — the y-axis of the policy frontier.
+
+    Only called for runs with an explicit ``config.cache`` spec, so
+    default summaries never grow this block.
+    """
+    from repro.core.cachelab import compile_cache_policy
+
+    totals = {
+        "inserts": 0,
+        "improvements": 0,
+        "rejects": 0,
+        "capacity_evictions": 0,
+        "replier_evictions": 0,
+        "expirations": 0,
+        "lookups": 0,
+        "hits": 0,
+    }
+    occupancy: dict[str, int] = {}
+    n_caches = 0
+    for agent in simulation.agents.values():
+        for source, cache in sorted(getattr(agent, "caches", {}).items()):
+            n_caches += 1
+            stats = cache.stats()
+            for key in totals:
+                totals[key] += stats[key]
+            occupancy[source] = occupancy.get(source, 0) + stats["entries"]
+    expedited = fallback = 0
+    for records in metrics.recoveries.values():
+        for record in records:
+            if record.expedited:
+                expedited += 1
+            else:
+                fallback += 1
+    recoveries = expedited + fallback
+    lookups = totals["lookups"]
+    return {
+        "spec": compile_cache_policy(simulation.config.cache).spec,
+        "caches": n_caches,
+        **totals,
+        "evictions": totals["capacity_evictions"] + totals["replier_evictions"],
+        "hit_rate": round(totals["hits"] / lookups, 6) if lookups else 0.0,
+        "expedited_fraction": (
+            round(expedited / recoveries, 6) if recoveries else 0.0
+        ),
+        "occupancy": occupancy,
+    }
 
 
 def _finalize_unrecovered(simulation: Simulation) -> dict[str, int]:

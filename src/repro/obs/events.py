@@ -49,7 +49,9 @@ class EventKind:
     CACHE_HIT = "cache.hit"      # selection policy proposed a pair
     CACHE_MISS = "cache.miss"    # no usable tuple for the loss's source
     CACHE_UPDATE = "cache.update"
+    CACHE_INSERT = "cache.insert"  # new tuple admitted (non-default policies)
     CACHE_EVICT = "cache.evict"  # pairs forgotten after a failed expedited try
+    #                              or displaced for capacity (reason="capacity")
     ERQST_SCHEDULED = "erqst.scheduled"
     ERQST_SENT = "erqst.sent"
     ERQST_CANCELLED = "erqst.cancelled"

@@ -40,7 +40,9 @@ Axes
 (:mod:`repro.workloads` spec string, ``""`` = default schedule),
 ``faults`` (path to a :class:`~repro.faults.FaultPlan` JSON file,
 resolved relative to the spec file, or an inline plan table; ``""`` =
-no faults), ``seed`` (folds into both the config seed and the trace
+no faults), ``cache`` (a :mod:`repro.core.cachelab` policy spec string
+like ``lru:capacity=8``; ``""`` = the paper's default cache),
+``seed`` (folds into both the config seed and the trace
 synthesis seed, exactly like the CLI's ``--seed``), and — under
 ``grid.params`` / ``params`` / ``cases.params`` — any
 :class:`~repro.harness.config.SimulationConfig` field.
@@ -68,7 +70,15 @@ from repro.harness.config import SimulationConfig
 SWEEP_SCHEMA = 1
 
 #: The swept dimensions a grid (or case) may name directly.
-AXES = ("protocol", "trace", "workload", "faults", "seed", "max_packets")
+AXES = (
+    "protocol",
+    "trace",
+    "workload",
+    "faults",
+    "cache",
+    "seed",
+    "max_packets",
+)
 
 #: Default per-trace replay cap, deliberately *not* env-sensitive (the
 #: same spec file must compile to the same digest everywhere).
@@ -76,8 +86,9 @@ DEFAULT_SWEEP_MAX_PACKETS = 3000
 
 _CONFIG_FIELDS = {f.name for f in fields(SimulationConfig)}
 #: Config fields that may not appear under ``params`` because they are
-#: proper axes (they shape trace synthesis too).
-_RESERVED_PARAMS = ("seed", "max_packets")
+#: proper axes (seed/max_packets shape trace synthesis too; cache is a
+#: dimension column of the result store).
+_RESERVED_PARAMS = ("seed", "max_packets", "cache")
 
 
 class SweepError(ValueError):
@@ -99,6 +110,8 @@ class SweepCase:
     trace: str
     workload: str
     faults: str
+    #: Cache-policy spec (``""`` = the paper's default cache).
+    cache: str
     seed: int
     max_packets: int | None
     #: Canonical JSON of the SimulationConfig overrides (sorted keys).
@@ -114,6 +127,7 @@ class SweepCase:
             "trace": self.trace,
             "workload": self.workload,
             "faults": self.faults,
+            "cache": self.cache,
             "seed": self.seed,
             "max_packets": self.max_packets,
             "params": self.params,
@@ -303,6 +317,14 @@ def _compile_point(
         raise SweepError(f"{where}: no trace (set it in [grid], [defaults], or the case)")
     workload = resolve("workload", "")
     faults_value = resolve("faults", "")
+    cache = resolve("cache", "")
+    if cache:
+        from repro.core.cachelab import CacheError, compile_cache_policy
+
+        try:
+            compile_cache_policy(str(cache))
+        except CacheError as exc:
+            raise SweepError(f"{where}: {exc}") from None
     seed = resolve("seed", 0)
     max_packets = resolve("max_packets", DEFAULT_SWEEP_MAX_PACKETS)
     if not isinstance(seed, int) or isinstance(seed, bool):
@@ -320,7 +342,9 @@ def _compile_point(
     faults_label, plan = _resolve_faults(faults_value, base, plan_cache, where)
 
     try:
-        config = SimulationConfig().with_(seed=seed, max_packets=cap, **params)
+        config = SimulationConfig().with_(
+            seed=seed, max_packets=cap, cache=str(cache or ""), **params
+        )
     except (TypeError, ValueError) as exc:
         raise SweepError(f"{where}: bad config params: {exc}") from None
     try:
@@ -341,6 +365,7 @@ def _compile_point(
         trace=str(trace),
         workload=str(workload),
         faults=faults_label,
+        cache=str(cache or ""),
         seed=seed,
         max_packets=cap,
         params=json.dumps(params, sort_keys=True),

@@ -15,7 +15,8 @@ Layout::
            created_at, updated_at)
     runs(sweep_digest, job_key,
          -- dimensions --
-         protocol, trace, workload, faults, seed, max_packets, params,
+         protocol, trace, workload, faults, cache, seed, max_packets,
+         params,
          -- bookkeeping --
          status, cached, attempts, error, ingested_at,
          -- metrics --
@@ -23,11 +24,15 @@ Layout::
          avg_latency_rtt, expedited_requests, expedited_replies,
          expedited_success, expedited_fraction, retransmissions,
          multicast_control, unicast_control, events, sim_time, wall_time,
+         cache_inserts, cache_evictions, cache_hit_rate,
          PRIMARY KEY (sweep_digest, job_key))
 
 Writes are committed per row (WAL journal), so a ``kill -9`` mid-sweep
 leaves a readable store; re-ingesting a row is an idempotent
-``INSERT OR REPLACE``.
+``INSERT OR REPLACE``.  Opening a store written by an older build
+migrates it in place: columns added since (the ``cache`` dimension, the
+``cache_*`` metrics) are ``ALTER TABLE``-ed on, with NULL/default
+values for pre-existing rows.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ DIMENSIONS = (
     "trace",
     "workload",
     "faults",
+    "cache",
     "seed",
     "max_packets",
     "params",
@@ -69,6 +75,9 @@ METRICS = (
     "events",
     "sim_time",
     "wall_time",
+    "cache_inserts",
+    "cache_evictions",
+    "cache_hit_rate",
 )
 
 #: Bookkeeping columns (queryable but not metrics).
@@ -89,6 +98,8 @@ _INT_COLUMNS = {
     "multicast_control",
     "unicast_control",
     "events",
+    "cache_inserts",
+    "cache_evictions",
 }
 _FLOAT_COLUMNS = {
     "avg_latency_rtt",
@@ -96,6 +107,7 @@ _FLOAT_COLUMNS = {
     "expedited_fraction",
     "sim_time",
     "wall_time",
+    "cache_hit_rate",
 }
 
 #: SQL aggregate per user-facing name.
@@ -124,6 +136,7 @@ def flatten_summary(summary: RunSummary) -> dict[str, Any]:
         n_recoveries += len(rows)
         n_expedited += sum(1 for row in rows if row[2])
     metrics = result.metrics
+    cache = summary.cache or {}
     return {
         "n_packets": result.n_packets,
         "total_losses": result.total_losses,
@@ -142,6 +155,10 @@ def flatten_summary(summary: RunSummary) -> dict[str, Any]:
         "events": result.events_processed,
         "sim_time": result.sim_time,
         "wall_time": result.wall_time,
+        # NULL on default-cache runs (no explicit policy, no stats block).
+        "cache_inserts": cache.get("inserts"),
+        "cache_evictions": cache.get("evictions"),
+        "cache_hit_rate": cache.get("hit_rate"),
     }
 
 
@@ -189,6 +206,7 @@ class SweepStore:
                 trace TEXT NOT NULL,
                 workload TEXT NOT NULL DEFAULT '',
                 faults TEXT NOT NULL DEFAULT '',
+                cache TEXT NOT NULL DEFAULT '',
                 seed INTEGER NOT NULL,
                 max_packets INTEGER,
                 params TEXT NOT NULL DEFAULT '{{}}',
@@ -201,11 +219,38 @@ class SweepStore:
                 PRIMARY KEY (sweep_digest, job_key)
             )"""
         )
+        self._migrate_runs_table()
         self._conn.execute(
             "CREATE INDEX IF NOT EXISTS runs_by_dims ON runs "
             "(sweep_digest, protocol, trace, workload)"
         )
         self._conn.commit()
+
+    def _migrate_runs_table(self) -> None:
+        """Bring a ``runs`` table created by an older build up to the
+        current column set.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing table, so
+        a store written before the ``cache`` dimension / ``cache_*``
+        metrics existed would otherwise break every INSERT.  Missing
+        columns are added in place: the dimension defaults to ``''``
+        (pre-cachelab rows ran the default policy), metric columns to
+        NULL (the stats were never collected).
+        """
+        existing = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(runs)").fetchall()
+        }
+        wanted: list[tuple[str, str]] = [("cache", "TEXT NOT NULL DEFAULT ''")]
+        wanted += [
+            (name, "REAL" if name in _FLOAT_COLUMNS else "INTEGER")
+            for name in METRICS
+        ]
+        for name, decl in wanted:
+            if name not in existing:
+                self._conn.execute(
+                    f"ALTER TABLE runs ADD COLUMN {name} {decl}"
+                )
 
     # ------------------------------------------------------------------
     # Ingest
@@ -410,7 +455,7 @@ class SweepStore:
         sql = (
             f"SELECT {', '.join(columns)} FROM runs "
             f"WHERE {' AND '.join(clauses)} "
-            f"ORDER BY protocol, trace, workload, faults, seed, params"
+            f"ORDER BY protocol, trace, workload, faults, cache, seed, params"
         )
         return columns, self._conn.execute(sql, values).fetchall()
 

@@ -24,6 +24,7 @@ from repro.workloads.registry import (
     parse_spec,
     register_workload,
     unregister_workload,
+    workload_names,
 )
 from repro.workloads.generators import DEFAULT_WORKLOAD
 from repro.workloads.runtime import (
@@ -61,5 +62,6 @@ __all__ = [
     "schedule_events",
     "synthesize_topology_trace",
     "unregister_workload",
+    "workload_names",
     "workload_run_stats",
 ]

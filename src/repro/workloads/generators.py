@@ -37,6 +37,7 @@ import math
 import random
 from typing import Mapping
 
+from repro.harness import specstr
 from repro.traces.model import LossTrace
 from repro.workloads.registry import (
     POSITIONAL,
@@ -53,68 +54,39 @@ DEFAULT_WORKLOAD = "cbr"
 
 
 # ----------------------------------------------------------------------
-# Parameter coercion
+# Parameter coercion — the shared repro.harness.specstr helpers, bound
+# to this surface's noun and error type (messages unchanged, pinned by
+# tests).
 # ----------------------------------------------------------------------
 def _consume(params: dict, key: str, default: str | None = None) -> str | None:
-    value = params.pop(key, None)
-    return default if value is None else value
+    return specstr.consume(params, key, default)
 
 
 def _reject_unknown(params: Mapping[str, str], family: str) -> None:
-    if params:
-        raise WorkloadError(
-            f"unknown parameter(s) {sorted(params)} for workload {family!r}"
-        )
+    specstr.reject_unknown(params, f"workload {family!r}", WorkloadError)
 
 
 def _as_float(value: str, family: str, key: str) -> float:
     """Parse a number, tolerating the grammar's unit suffixes: ``20x``
     (multiplier), ``5s`` (seconds), ``40ms`` (milliseconds)."""
-    text = value.strip().lower()
-    scale = 1.0
-    if text.endswith("ms"):
-        text, scale = text[:-2], 1e-3
-    elif text.endswith(("x", "s")):
-        text = text[:-1]
-    try:
-        out = scale * float(text)
-    except ValueError:
-        raise WorkloadError(
-            f"workload {family!r}: parameter {key}={value!r} is not a number"
-        ) from None
-    if not math.isfinite(out):
-        raise WorkloadError(f"workload {family!r}: {key}={value!r} is not finite")
-    return out
+    return specstr.coerce_float(value, f"workload {family!r}", key, WorkloadError)
 
 
 def _float_param(
     params: dict, family: str, key: str, default: float,
     minimum: float | None = None,
 ) -> float:
-    raw = _consume(params, key)
-    out = default if raw is None else _as_float(raw, family, key)
-    if minimum is not None and out < minimum:
-        raise WorkloadError(
-            f"workload {family!r}: {key}={out!r} must be >= {minimum}"
-        )
-    return out
+    return specstr.float_param(
+        params, f"workload {family!r}", key, default, minimum, WorkloadError
+    )
 
 
 def _int_param(
     params: dict, family: str, key: str, default: int, minimum: int = 1
 ) -> int:
-    raw = _consume(params, key)
-    if raw is None:
-        return default
-    try:
-        out = int(raw)
-    except ValueError:
-        raise WorkloadError(
-            f"workload {family!r}: parameter {key}={raw!r} is not an integer"
-        ) from None
-    if out < minimum:
-        raise WorkloadError(f"workload {family!r}: {key}={out} must be >= {minimum}")
-    return out
+    return specstr.int_param(
+        params, f"workload {family!r}", key, default, minimum, WorkloadError
+    )
 
 
 # ----------------------------------------------------------------------

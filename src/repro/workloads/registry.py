@@ -43,6 +43,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
+from repro.harness import specstr
+from repro.harness.registries import Registry
 from repro.sim.rng import RngRegistry
 from repro.traces.model import LossTrace
 
@@ -92,49 +94,49 @@ class WorkloadSpec:
     tags: tuple[str, ...] = field(default=())
 
 
-_REGISTRY: dict[str, WorkloadSpec] = {}
+#: One shared :class:`~repro.harness.registries.Registry` instance — the
+#: same helper behind protocols, selection policies, and cache policies.
+_REGISTRY: Registry[WorkloadSpec] = Registry("workload", error=WorkloadError)
 
 
 def register_workload(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec:
     """Add ``spec`` to the registry.  Re-registering an existing name is an
     error unless ``replace=True`` (tests swapping in doubles)."""
-    if not replace and spec.name in _REGISTRY:
-        raise WorkloadError(f"workload {spec.name!r} is already registered")
-    _REGISTRY[spec.name] = spec
-    return spec
+    return _REGISTRY.register(spec, replace=replace)
 
 
 def unregister_workload(name: str) -> None:
     """Remove a workload family (primarily for tests cleaning up doubles)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def get_workload_spec(name: str) -> WorkloadSpec:
     """The spec registered under ``name``; raises :class:`WorkloadError`
     (with the known names) otherwise."""
-    spec = _REGISTRY.get(name)
-    if spec is None:
-        raise WorkloadError(
-            f"unknown workload {name!r}; known: {available_workloads()}"
-        )
-    return spec
+    return _REGISTRY.get(name)
 
 
 def available_workloads() -> tuple[str, ...]:
     """Registered workload family names, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
+
+
+#: Consistent `*_names` alias matching the other registries.
+workload_names = available_workloads
 
 
 def all_workload_specs() -> tuple[WorkloadSpec, ...]:
-    return tuple(_REGISTRY.values())
+    return _REGISTRY.specs()
 
 
 # ----------------------------------------------------------------------
-# Spec-string grammar
+# Spec-string grammar — the shared repro.harness.specstr parser, bound
+# to this surface's noun and error type.  Error wording is unchanged
+# from the pre-specstr parser (pinned by tests).
 # ----------------------------------------------------------------------
 #: The parameter key a bare (``key=``-less) token is stored under; a
 #: family taking one positional value reads it from here.
-POSITIONAL = ""
+POSITIONAL = specstr.POSITIONAL
 
 
 def parse_spec(spec: str) -> tuple[str, dict[str, str]]:
@@ -143,52 +145,13 @@ def parse_spec(spec: str) -> tuple[str, dict[str, str]]:
     A single bare token (no ``=``) is allowed as a positional value and
     stored under :data:`POSITIONAL`; everything else must be ``key=value``.
     """
-    spec = spec.strip()
-    if not spec:
-        raise WorkloadError("empty workload spec")
-    family, sep, rest = spec.partition(":")
-    family = family.strip()
-    if not family:
-        raise WorkloadError(f"workload spec {spec!r} has no family name")
-    if sep and not rest.strip():
-        raise WorkloadError(f"workload spec {spec!r} has a trailing ':'")
-    params: dict[str, str] = {}
-    if rest.strip():
-        for token in rest.split(","):
-            token = token.strip()
-            if not token:
-                raise WorkloadError(f"empty parameter in workload spec {spec!r}")
-            key, eq, value = token.partition("=")
-            key, value = key.strip(), value.strip()
-            if not eq:
-                if POSITIONAL in params:
-                    raise WorkloadError(
-                        f"workload spec {spec!r} has more than one positional value"
-                    )
-                params[POSITIONAL] = key
-                continue
-            if not key or not value:
-                raise WorkloadError(
-                    f"malformed parameter {token!r} in workload spec {spec!r}"
-                )
-            if key in params:
-                raise WorkloadError(
-                    f"duplicate parameter {key!r} in workload spec {spec!r}"
-                )
-            params[key] = value
-    return family, params
+    return specstr.parse_spec(spec, label="workload", error=WorkloadError)
 
 
 def canonical_spec(family: str, params: Mapping[str, str]) -> str:
     """The normalized spec string: family, then parameters sorted by key
     (a positional value sorts first, rendered bare)."""
-    if not params:
-        return family
-    parts = []
-    for key in sorted(params):
-        value = params[key]
-        parts.append(value if key == POSITIONAL else f"{key}={value}")
-    return f"{family}:{','.join(parts)}"
+    return specstr.canonical_spec(family, params)
 
 
 class Workload:
@@ -282,4 +245,5 @@ __all__ = [
     "parse_spec",
     "register_workload",
     "unregister_workload",
+    "workload_names",
 ]

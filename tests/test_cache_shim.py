@@ -1,0 +1,61 @@
+"""The deprecated `repro.core.cache` shim: warns once per name, forwards
+to `repro.core.cachelab`, and stays import-cycle-free."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def test_shim_warns_and_forwards():
+    import repro.core.cache as shim
+    from repro.core import cachelab
+
+    with pytest.warns(DeprecationWarning, match="moved to repro.core.cachelab"):
+        cls = shim.RecoveryPairCache
+    assert cls is cachelab.RecoveryPairCache
+    with pytest.warns(DeprecationWarning):
+        assert shim.RecoveryTuple is cachelab.RecoveryTuple
+
+
+def test_shim_unknown_name():
+    import repro.core.cache as shim
+
+    with pytest.raises(AttributeError, match="NoSuchThing"):
+        shim.NoSuchThing
+
+
+def test_shim_import_fails_under_error_filter():
+    """CI pins the deprecation: importing through the shim with
+    `-W error::DeprecationWarning` must raise, proving no internal code
+    path still routes through it."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            "-c",
+            "from repro.core.cache import RecoveryPairCache",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode != 0
+    assert "DeprecationWarning" in proc.stderr
+
+
+def test_internal_surface_is_shim_free():
+    """Importing the public facade and the CLI module under the error
+    filter succeeds — nothing internal touches the shim."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            "-c",
+            "import repro.api, repro.harness.cli",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.agent import CesrmAgent
-from repro.core.cache import RecoveryTuple
+from repro.core.cachelab import RecoveryTuple
 from repro.net.packet import CONTROL_BYTES, PAYLOAD_BYTES, Packet, PacketKind
 
 from tests.helpers import make_world, two_subtrees

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.cachelab import RecoveryPairCache, RecoveryTuple
 
 
 def tup(seq: int, q="q", d_qs=0.1, r="r", d_rq=0.05, tp=None) -> RecoveryTuple:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cache import RecoveryPairCache, RecoveryTuple
+from repro.core.cachelab import RecoveryPairCache, RecoveryTuple
 from repro.core.policies import (
     MostFrequentLossPolicy,
     MostRecentLossPolicy,
@@ -85,9 +85,9 @@ class TestRegistry:
             cache.observe(tup(1, q="old"))
             assert policy.select(cache).requestor == "old"
         finally:
-            from repro.core import policies
+            from repro.core.policies import unregister_policy
 
-            policies._REGISTRY.pop("test-oldest", None)
+            unregister_policy("test-oldest")
 
     def test_register_requires_name(self):
         with pytest.raises(ValueError):

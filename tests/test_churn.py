@@ -7,7 +7,7 @@ assisted protocols like LMS, by contrast, strand replier state in routers.
 These tests crash hosts mid-session and verify exactly that story.
 """
 
-from repro.core.cache import RecoveryTuple
+from repro.core.cachelab import RecoveryTuple
 from repro.net.packet import PacketKind
 
 from tests.helpers import make_world, two_subtrees

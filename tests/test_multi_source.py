@@ -162,7 +162,7 @@ class TestMultiSourceCesrm:
         world.run_warmup()
         agent = world.agents["r1"]
         # warm ONLY r4's cache with (r1, r2)
-        from repro.core.cache import RecoveryTuple
+        from repro.core.cachelab import RecoveryTuple
 
         agent.cache_for("r4").observe(
             RecoveryTuple(0, "r1", 0.04, "r2", 0.04)

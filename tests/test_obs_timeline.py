@@ -9,7 +9,7 @@ against what the protocol must do in that topology.
 
 from tests.helpers import make_world, two_subtrees
 
-from repro.core.cache import RecoveryTuple
+from repro.core.cachelab import RecoveryTuple
 from repro.obs import (
     EventKind,
     JsonlFileSink,

@@ -1,6 +1,6 @@
 """Behavioural tests for router-assisted CESRM (§3.3)."""
 
-from repro.core.cache import RecoveryTuple
+from repro.core.cachelab import RecoveryTuple
 from repro.net.packet import PAYLOAD_BYTES, Cast, Packet, PacketKind
 
 from tests.helpers import make_world, two_subtrees

@@ -74,7 +74,7 @@ class TestViolationsAreCaught:
         assert excinfo.value.invariant == "received-within-max"
 
     def test_cache_entry_for_never_lost_packet(self):
-        from repro.core.cache import RecoveryTuple
+        from repro.core.cachelab import RecoveryTuple
 
         world = make_world(tree=two_subtrees(), protocol="cesrm")
         monitor = InvariantMonitor(world.sim, world.agents, period=0.05)
