@@ -18,8 +18,10 @@ should import from here and nowhere else:
 * the trace substrate: :func:`synthesize_trace`, :func:`trace_meta`,
   :class:`SynthesisParams`, the §4.2 estimators and :class:`Attributor`;
 * declarative workloads: :func:`compile_workload`, :class:`WorkloadSpec`,
-  :func:`register_workload`, and the generative topology helpers
-  (:func:`build_topology`, :func:`synthesize_topology_trace`);
+  :func:`register_workload`, and the generative topology registry
+  (:class:`TopologySpec`, :func:`register_topology`,
+  :func:`build_topology`, :func:`synthesize_topology_trace`) plus the
+  membership-churn axis (:func:`compile_churn`, :class:`ChurnPlan`);
 * verification and observability hooks, CESRM's cache/policy extension
   points, and the low-level building blocks the multi-source example
   wires by hand (engine, network, metrics);
@@ -145,6 +147,23 @@ from repro.workloads import (
     synthesize_topology_trace,
     unregister_workload,
     workload_names,
+)
+
+# -- generative topology registry + membership churn --------------------
+from repro.net.families import (
+    TopologyError,
+    TopologySpec,
+    all_topology_specs,
+    canonical_topology_spec,
+    get_topology_spec,
+    register_topology,
+    topology_names,
+)
+from repro.churn import (
+    ChurnError,
+    ChurnPlan,
+    compile_churn,
+    validate_churn,
 )
 
 # -- verification, metrics, execution engine ----------------------------
@@ -285,6 +304,18 @@ __all__ = [
     "all_workload_specs",
     "build_topology",
     "synthesize_topology_trace",
+    # topology registry + churn
+    "TopologySpec",
+    "TopologyError",
+    "register_topology",
+    "topology_names",
+    "all_topology_specs",
+    "get_topology_spec",
+    "canonical_topology_spec",
+    "ChurnPlan",
+    "ChurnError",
+    "compile_churn",
+    "validate_churn",
     # verification + metrics + execution
     "InvariantMonitor",
     "InvariantViolation",

@@ -1,0 +1,35 @@
+"""Membership churn as a first-class run axis (§3.3, §5).
+
+The paper motivates CESRM's per-source caches with *dynamic* multicast
+groups: members come and go mid-transmission.  This package makes that an
+executable, seeded axis of every run — a ``churn:rate=...`` spec compiles
+to a Poisson join/leave process that patches the live topology in place
+(through the incremental :class:`~repro.net.index.TopologyIndex`
+operations) while the protocol runs.
+
+* :mod:`repro.churn.plan` — the spec grammar and compiled plan.
+* :mod:`repro.churn.engine` — the runtime executor (FaultInjector-style).
+"""
+
+from repro.churn.engine import ChurnEngine, JOIN_PREFIX
+from repro.churn.plan import (
+    CHURN_DEFAULTS,
+    CHURN_FAMILY,
+    ChurnError,
+    ChurnPlan,
+    EMPTY_PLAN,
+    compile_churn,
+    validate_churn,
+)
+
+__all__ = [
+    "CHURN_DEFAULTS",
+    "CHURN_FAMILY",
+    "ChurnEngine",
+    "ChurnError",
+    "ChurnPlan",
+    "EMPTY_PLAN",
+    "JOIN_PREFIX",
+    "compile_churn",
+    "validate_churn",
+]

@@ -1,0 +1,162 @@
+"""Execute a :class:`~repro.churn.plan.ChurnPlan` against one wired run.
+
+Modeled on :class:`~repro.faults.inject.FaultInjector`: the whole event
+schedule compiles onto the simulator's timer wheel at :meth:`install`
+time from a dedicated ``churn:schedule`` RNG stream, so a plan's effects
+are a pure function of (plan, seed, topology).  Fire-time draws (victim
+and attachment-point selection, which depend on the membership at that
+instant) come from a second ``churn:events`` stream; the event order is
+itself deterministic, so the whole process is too.
+
+A *leave* crashes the member's agent (it stops answering and recovering,
+exactly like a :class:`~repro.faults.plan.NodeCrash`) and detaches its
+tree edge in place via :meth:`~repro.net.network.Network.detach_subtree`
+— the incremental :class:`~repro.net.index.TopologyIndex` patch, not a
+rebuild.  A *join* grows the tree under a seeded-chosen router via
+:meth:`~repro.net.network.Network.attach_receiver`, builds a fresh agent
+through the runner's agent factory, and resynchronizes the joiner's
+primary-stream high-water mark so pre-join history is not mistaken for
+loss (a late joiner recovers forward, not backward — §3.3's dynamic
+membership, made executable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, MutableMapping
+
+from repro.churn.plan import ChurnPlan
+from repro.net.topology import NodeKind
+from repro.obs.events import EventKind
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Joiners are named ``j1, j2, ...`` — a prefix no topology family uses.
+JOIN_PREFIX = "j"
+
+
+class ChurnEngine:
+    """Executes one churn plan against one wired simulation."""
+
+    def __init__(
+        self,
+        plan: ChurnPlan,
+        sim: Simulator,
+        network,
+        registry: RngRegistry,
+    ) -> None:
+        self.plan = plan
+        self.sim = sim
+        self.network = network
+        self.registry = registry
+        self._agents: MutableMapping[str, object] = {}
+        self._agent_factory: Callable[[str], object] | None = None
+        self._source_agent = None
+        self._routers: list[str] = []
+        self._installed = False
+        # -- counters (surfaced via stats() on churn runs) -------------
+        self.scheduled = 0
+        self.joins = 0
+        self.leaves = 0
+        self.skipped_floor = 0
+
+    # ------------------------------------------------------------------
+    # Plan compilation
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        agents: MutableMapping[str, object],
+        end_time: float,
+        agent_factory: Callable[[str], object],
+        source_agent,
+    ) -> None:
+        """Draw the Poisson event schedule and put it on the timer wheel.
+
+        ``agents`` is the run's *live* host->agent mapping (not a copy):
+        joiners are added to it so end-of-run finalization sees them.
+        """
+        if self._installed:
+            raise RuntimeError("churn plan already installed")
+        self._installed = True
+        if self.plan.empty:
+            return
+        self._agents = agents
+        self._agent_factory = agent_factory
+        self._source_agent = source_agent
+        tree = self.network.tree
+        self._routers = [
+            node for node in tree.nodes if tree.kind(node) is NodeKind.ROUTER
+        ] or [tree.source]
+        self._rng = self.registry.stream("churn:events")
+        schedule_rng = self.registry.stream("churn:schedule")
+        horizon = self.plan.horizon(end_time)
+        t = self.plan.start
+        while True:
+            t += schedule_rng.expovariate(self.plan.rate)
+            if t >= horizon:
+                break
+            is_leave = schedule_rng.random() < self.plan.leave
+            self.scheduled += 1
+            self.sim.schedule_at(t, self._fire, is_leave)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _fire(self, is_leave: bool) -> None:
+        if is_leave:
+            self._leave()
+        else:
+            self._join()
+
+    def _leave(self) -> None:
+        members = self.network.tree.current_receivers()
+        if len(members) <= self.plan.floor:
+            self.skipped_floor += 1
+            return
+        victim = members[self._rng.randrange(len(members))]
+        self._agents[victim].fail()
+        self.network.detach_subtree(victim)
+        self.leaves += 1
+        self._emit(EventKind.CHURN_LEAVE, node=victim)
+
+    def _join(self) -> None:
+        name = f"{JOIN_PREFIX}{self.joins + 1}"
+        router = self._routers[self._rng.randrange(len(self._routers))]
+        self.network.attach_receiver(name, router)
+        agent = self._agent_factory(name)
+        self._agents[name] = agent
+        # Late-join resync: the joiner's high-water mark for the primary
+        # stream starts at the source's own, so everything sent before it
+        # joined reads as history, not loss.
+        source = self._source_agent
+        sent_up_to = source.source_state(source.host_id).stream.max_seq
+        if sent_up_to >= 0:
+            agent.source_state(source.host_id).stream.max_seq = sent_up_to
+        agent.start(
+            session_offset=self._rng.uniform(0.0, agent.session_period)
+        )
+        self.joins += 1
+        self._emit(EventKind.CHURN_JOIN, node=name, router=router)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Churn counters for :class:`~repro.exec.summary.RunSummary`
+        (attached only on churn runs, keeping churn-free bytes unchanged)."""
+        return {
+            "spec": self.plan.spec,
+            "rate": self.plan.rate,
+            "scheduled": self.scheduled,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "skipped_floor": self.skipped_floor,
+            "final_receivers": len(self.network.tree.current_receivers()),
+        }
+
+    def _emit(self, kind: str, **detail) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, kind, **detail)
+
+
+__all__ = ["ChurnEngine", "JOIN_PREFIX"]

@@ -1,0 +1,138 @@
+"""The ``churn:`` spec — a declarative membership-churn process.
+
+One family, one grammar (shared with every other harness surface via
+:mod:`repro.harness.specstr`)::
+
+    churn:rate=0.5[,leave=0.5][,start=0][,until=30s][,floor=2]
+
+``rate`` is the only required parameter: the intensity (events per
+simulated second) of a Poisson process of membership events.  Each event
+is a *leave* with probability ``leave`` (a live receiver fails and its
+subtree edge is detached) and a *join* otherwise (a brand-new receiver
+attaches under a seeded-chosen router and starts a protocol agent).
+``start``/``until`` bound the active window (``until`` defaults to the
+end of the run); ``floor`` is the minimum live membership — a leave that
+would shrink the group below it is skipped (and counted).
+
+Like fault plans and workloads, churn is part of a run's *identity*: it
+folds into :class:`~repro.exec.jobs.RunJob` digests, and the empty spec
+(``""``) means "no churn" and leaves every byte of a run unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.specstr import (
+    canonical_spec,
+    consume,
+    float_param,
+    int_param,
+    parse_spec,
+    reject_unknown,
+)
+
+
+class ChurnError(ValueError):
+    """Raised for malformed or unsatisfiable ``churn:`` specs."""
+
+
+#: The one registered family name.
+CHURN_FAMILY = "churn"
+
+#: Default parameter values (as spec-grammar strings, for listings).
+CHURN_DEFAULTS = {
+    "leave": "0.5",
+    "start": "0",
+    "until": "end",
+    "floor": "2",
+}
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A compiled, validated churn process.
+
+    ``spec`` is the canonical spec string (the digest/identity form);
+    ``until`` is ``None`` when the process runs to the end of the data
+    transmission.
+    """
+
+    spec: str
+    rate: float
+    leave: float
+    start: float
+    until: float | None
+    floor: int
+
+    @property
+    def empty(self) -> bool:
+        return not self.spec
+
+    def horizon(self, end_time: float) -> float:
+        """The instant the process stops generating events."""
+        return end_time if self.until is None else min(self.until, end_time)
+
+
+#: The no-churn plan: what an empty spec compiles to.
+EMPTY_PLAN = ChurnPlan(spec="", rate=0.0, leave=0.5, start=0.0, until=None, floor=2)
+
+
+def compile_churn(spec: str) -> ChurnPlan:
+    """Parse and validate a ``churn:`` spec (empty string -> no churn)."""
+    if not spec or not spec.strip():
+        return EMPTY_PLAN
+    family, params = parse_spec(spec, label="churn", error=ChurnError)
+    if family != CHURN_FAMILY:
+        raise ChurnError(
+            f"unknown churn family {family!r}; only {CHURN_FAMILY!r} exists"
+        )
+    where = f"churn {spec!r}"
+    raw = dict(params)
+    raw_rate = consume(raw, "rate")
+    if raw_rate is None:
+        raise ChurnError(f"{where}: missing required parameter 'rate'")
+    rate = float_param({"rate": raw_rate}, where, "rate", 0.0, error=ChurnError)
+    if rate <= 0.0:
+        raise ChurnError(f"{where}: rate={rate!r} must be > 0")
+    leave = float_param(raw, where, "leave", 0.5, minimum=0.0, error=ChurnError)
+    if leave > 1.0:
+        raise ChurnError(f"{where}: leave={leave!r} must be <= 1")
+    start = float_param(raw, where, "start", 0.0, minimum=0.0, error=ChurnError)
+    raw_until = consume(raw, "until")
+    until: float | None = None
+    if raw_until is not None and raw_until != "end":
+        until = float_param(
+            {"until": raw_until}, where, "until", 0.0, error=ChurnError
+        )
+        if until <= start:
+            raise ChurnError(f"{where}: until={until!r} must be > start={start!r}")
+    floor = int_param(raw, where, "floor", 2, minimum=1, error=ChurnError)
+    reject_unknown(raw, where, error=ChurnError)
+    return ChurnPlan(
+        spec=canonical_spec(family, params),
+        rate=rate,
+        leave=leave,
+        start=start,
+        until=until,
+        floor=floor,
+    )
+
+
+def validate_churn(spec: str) -> str:
+    """Eager-validation helper for CLI flags, experiment contexts, and
+    sweep grids: compile (raising :class:`ChurnError` on bad input) and
+    return the spec unchanged so call sites keep the user's spelling."""
+    compile_churn(spec)
+    return spec
+
+
+__all__ = [
+    "CHURN_DEFAULTS",
+    "CHURN_FAMILY",
+    "ChurnError",
+    "ChurnPlan",
+    "EMPTY_PLAN",
+    "compile_churn",
+    "validate_churn",
+]

@@ -69,6 +69,10 @@ class CacheEntry:
     #: *and* for entries written before cachelab existed (the pre-cachelab
     #: wire format had no ``cache`` key in the config).
     cache: str = ""
+    #: Churn spec of the stored run; ``""`` for static-membership runs
+    #: *and* for entries written before churn support existed (the
+    #: pre-churn wire format had no ``churn`` key).
+    churn: str = ""
     #: Last-modified time of the entry file (what ``prune`` ages on).
     mtime: float = 0.0
 
@@ -180,6 +184,7 @@ class RunCache:
                         size_bytes=stat.st_size,
                         workload=job.get("workload", ""),
                         cache=job["config"].get("cache", ""),
+                        churn=job.get("churn", ""),
                         mtime=stat.st_mtime,
                     )
                 )

@@ -51,6 +51,12 @@ class RunJob:
     #: folds into :meth:`key`/:meth:`digest` only when non-empty, so
     #: default-schedule digests match pre-workload builds byte for byte.
     workload: str = ""
+    #: Declarative :mod:`repro.churn` spec installing a membership
+    #: join/leave process over the run.  ``""`` (the wire-format default)
+    #: means static membership; like ``faults``/``workload``, it folds
+    #: into :meth:`key`/:meth:`digest` only when non-empty, so
+    #: static-membership digests match pre-churn builds byte for byte.
+    churn: str = ""
 
     def __post_init__(self) -> None:
         if self.protocol not in available_protocols():
@@ -66,6 +72,13 @@ class RunJob:
             try:
                 compile_workload(self.workload)
             except WorkloadError as exc:
+                raise ValueError(str(exc)) from None
+        if self.churn:
+            from repro.churn import ChurnError, compile_churn
+
+            try:
+                compile_churn(self.churn)
+            except ChurnError as exc:
                 raise ValueError(str(exc)) from None
 
     # ------------------------------------------------------------------
@@ -83,6 +96,8 @@ class RunJob:
             data["faults"] = self.faults.to_dict()
         if self.workload:
             data["workload"] = self.workload
+        if self.churn:
+            data["churn"] = self.churn
         return data
 
     @classmethod
@@ -97,6 +112,7 @@ class RunJob:
             trace_max_packets=data["trace_max_packets"],
             faults=FaultPlan.from_dict(data.get("faults", {"events": []})),
             workload=data.get("workload", ""),
+            churn=data.get("churn", ""),
         )
 
     # ------------------------------------------------------------------
@@ -128,6 +144,8 @@ class RunJob:
             parts.append(self.workload)
         if self.config.cache:
             parts.append(f"cache={self.config.cache}")
+        if self.churn:
+            parts.append(self.churn)
         return "/".join(parts)
 
 
@@ -161,6 +179,7 @@ def execute_job(job: RunJob) -> RunSummary:
             job.config,
             faults=job.faults,
             workload=job.workload or None,
+            churn=job.churn,
         )
     )
 

@@ -36,14 +36,16 @@ SCHEMA_VERSION = 1
 def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
     """``SimulationConfig`` (with nested ``SrmParams``) as plain JSON data.
 
-    The ``cache`` policy spec is omitted when default (``""``) so
-    default-config job keys and summaries stay byte-identical to
-    pre-cachelab builds — the same discipline as the optional
-    ``faults``/``workload`` summary blocks.
+    The ``cache`` policy spec is omitted when default (``""``) and
+    ``prime_distances`` when False, so default-config job keys and
+    summaries stay byte-identical to earlier builds — the same
+    discipline as the optional ``faults``/``workload`` summary blocks.
     """
     data = asdict(config)
     if not data["cache"]:
         del data["cache"]
+    if not data["prime_distances"]:
+        del data["prime_distances"]
     return data
 
 
@@ -53,6 +55,7 @@ def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
     payload = dict(data)
     payload["params"] = SrmParams(**payload["params"])
     payload.setdefault("cache", "")
+    payload.setdefault("prime_distances", False)
     return SimulationConfig(**payload)
 
 
@@ -106,6 +109,11 @@ class RunSummary:
     #: (and omitted from the JSON form) on default-cache runs, so those
     #: summaries stay byte-identical to pre-cachelab builds.
     cache: dict[str, Any] | None = None
+    #: Membership-churn counters (joins / leaves / skipped-floor events /
+    #: final membership) of a run with a non-empty :mod:`repro.churn`
+    #: spec; None (and omitted from the JSON form) on static-membership
+    #: runs, so those summaries stay byte-identical to pre-churn builds.
+    churn: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # RunResult <-> RunSummary
@@ -157,6 +165,7 @@ class RunSummary:
             faults=result.faults,
             workload=result.workload,
             cache=result.cache,
+            churn=result.churn,
         )
 
     def to_result(self) -> RunResult:
@@ -204,6 +213,7 @@ class RunSummary:
             faults=self.faults,
             workload=self.workload,
             cache=self.cache,
+            churn=self.churn,
         )
 
     # ------------------------------------------------------------------
@@ -219,6 +229,8 @@ class RunSummary:
             del data["workload"]  # likewise for default-schedule runs
         if data["cache"] is None:
             del data["cache"]  # likewise for default-cache-policy runs
+        if data["churn"] is None:
+            del data["churn"]  # likewise for static-membership runs
         return data
 
     @classmethod

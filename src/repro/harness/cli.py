@@ -16,11 +16,13 @@ single protocol/trace pair:
     $ cesrm faults --faults plan.json --protocol cesrm
     $ cesrm protocols
     $ cesrm workloads
+    $ cesrm topologies
     $ cesrm caches
     $ cesrm run --workload zipf:alpha=1.1,objects=500
     $ cesrm run --cache lru:capacity=8 --workload flash_crowd:peak=20x
     $ cesrm run --faults 'link-down:u=r0,v=r1,at=2,duration=5'
     $ cesrm run --trace tree:depth=3,fanout=4 --workload flash_crowd:peak=20x
+    $ cesrm run --trace transit_stub:transits=4,stubs=8,hosts=16 --churn churn:rate=0.5
     $ cesrm all --jobs 8
     $ cesrm cache
     $ cesrm cache --clear
@@ -117,6 +119,7 @@ COMMANDS = (
     "faults",
     "protocols",
     "workloads",
+    "topologies",
     "caches",
     "cache",
     "sweep",
@@ -170,6 +173,19 @@ def _cache_policy_arg(value: str) -> str:
     try:
         compile_cache_policy(value)
     except CacheError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _churn_arg(value: str) -> str:
+    """``--churn`` validates the membership-churn spec eagerly."""
+    from repro.churn import ChurnError, compile_churn
+
+    if not value:
+        return value
+    try:
+        compile_churn(value)
+    except ChurnError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return value
 
@@ -231,6 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery-cache policy spec for CESRM runs, e.g. "
         "lru:capacity=16 or ttl:capacity=16,ttl=30s (default: the paper's "
         "seqno-ordered cache; `cesrm caches` lists the policies)",
+    )
+    parser.add_argument(
+        "--churn",
+        default="",
+        type=_churn_arg,
+        metavar="SPEC",
+        help="install a membership join/leave process over the run, e.g. "
+        "churn:rate=0.5,leave=0.4 (default: static membership; see "
+        "docs/topologies.md for the grammar)",
     )
     parser.add_argument(
         "--faults",
@@ -305,9 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="with `protocols`/`workloads`/`faults`/`caches`: machine-"
-        "readable JSON listings (for tools generating or validating sweep "
-        "specs)",
+        help="with `protocols`/`workloads`/`topologies`/`faults`/`caches`: "
+        "machine-readable JSON listings (for tools generating or validating "
+        "sweep specs)",
     )
     parser.add_argument(
         "--store",
@@ -464,6 +489,7 @@ def _context(args: argparse.Namespace) -> exp.ExperimentContext:
         faults=_fault_plan(args),
         workload=getattr(args, "workload", ""),
         cache_policy=getattr(args, "cache", ""),
+        churn=getattr(args, "churn", ""),
     )
     if getattr(args, "verify", False):
         ctx.config = ctx.config.with_(verify_period=0.05)
@@ -547,6 +573,8 @@ def main(argv: list[str] | None = None) -> int:
         out.append(_protocols_command(as_json=args.json))
     if args.command == "workloads":
         out.append(_workloads_command(as_json=args.json))
+    if args.command == "topologies":
+        out.append(_topologies_command(as_json=args.json))
     if args.command == "caches":
         out.append(_caches_command(as_json=args.json))
 
@@ -690,9 +718,10 @@ def _cache_command(args: argparse.Namespace) -> str:
         cap = "full" if entry.max_packets is None else entry.max_packets
         workload = f" workload={entry.workload}" if entry.workload else ""
         policy = f" cache={entry.cache}" if entry.cache else ""
+        churn = f" churn={entry.churn}" if entry.churn else ""
         lines.append(
             f"  [{marker}] {entry.protocol:>12} {entry.trace:<10} "
-            f"seed={entry.seed} cap={cap}{workload}{policy} "
+            f"seed={entry.seed} cap={cap}{workload}{policy}{churn} "
             f"({entry.size_bytes} B)"
         )
     return "\n".join(lines)
@@ -772,7 +801,7 @@ def _traced_run(args: argparse.Namespace, ctx: exp.ExperimentContext):
     result = _run_trace(
         ctx.trace(args.trace), args.protocol, ctx.config,
         tracer=tracer, profiler=profiler, faults=ctx.faults,
-        workload=ctx.workload or None,
+        workload=ctx.workload or None, churn=ctx.churn,
     )
     return result, ring, profiler
 
@@ -930,6 +959,7 @@ def _protocols_command(as_json: bool = False) -> str:
 
 def _workloads_command(as_json: bool = False) -> str:
     """List every workload family the registry knows, with parameters."""
+    from repro.net.families import all_topology_specs
     from repro.workloads import all_workload_specs
 
     if as_json:
@@ -946,15 +976,10 @@ def _workloads_command(as_json: bool = False) -> str:
                 ],
                 "topologies": [
                     {
-                        "name": "tree",
-                        "params": {
-                            "depth": "tree depth",
-                            "fanout": "children per node",
-                            "loss": "per-link loss target (default 0.05)",
-                            "period": "inter-packet period seconds",
-                            "packets": "trace length",
-                        },
+                        "name": spec.name,
+                        "params": dict(spec.params_doc),
                     }
+                    for spec in all_topology_specs()
                 ],
             }
         )
@@ -962,8 +987,56 @@ def _workloads_command(as_json: bool = False) -> str:
     lines.extend(_spec_lines(all_workload_specs(), width=14, params=True))
     lines.append("")
     lines.append(
-        "topology specs (the --trace slot): tree:depth=D,fanout=F"
-        "[,loss=0.05,period=0.08,packets=1000]"
+        "topology specs (the --trace slot): tree:depth=D,fanout=F, "
+        + ", ".join(
+            f"{spec.name}:..." for spec in all_topology_specs()
+            if spec.name != "tree"
+        )
+        + " — `cesrm topologies` lists parameters"
+    )
+    return "\n".join(lines)
+
+
+def _topologies_command(as_json: bool = False) -> str:
+    """List every generative topology family the registry knows.
+
+    These specs ride the ``--trace`` slot (``cesrm run --trace
+    transit_stub:transits=4,stubs=8,hosts=16``) and fold into run-cache
+    digests like workload specs.  See docs/topologies.md for the grammar,
+    the ``--churn`` membership axis, and the scale methodology.
+    """
+    from repro.churn import CHURN_DEFAULTS, CHURN_FAMILY
+    from repro.net.families import all_topology_specs
+
+    if as_json:
+        return _listing_json(
+            {
+                "topologies": [
+                    {
+                        "name": spec.name,
+                        "description": spec.description,
+                        "params": dict(spec.params_doc),
+                        "tags": list(spec.tags),
+                        "calibrated": spec.calibrated,
+                    }
+                    for spec in all_topology_specs()
+                ],
+                "churn": {
+                    "name": CHURN_FAMILY,
+                    "params": {
+                        "rate": "mean join/leave events per second (required)",
+                        **{k: f"default {v}" for k, v in CHURN_DEFAULTS.items()},
+                    },
+                },
+            }
+        )
+
+    lines = ["registered topology families (cesrm run --trace <family>[:k=v,...]):"]
+    lines.extend(_spec_lines(all_topology_specs(), width=12, params=True))
+    lines.append("")
+    lines.append(
+        "membership churn (any topology): --churn churn:rate=R"
+        "[,leave=0.5,start=0,until=end,floor=2] — see docs/topologies.md"
     )
     return "\n".join(lines)
 
@@ -1202,6 +1275,13 @@ def _run_single(args: argparse.Namespace, ctx: exp.ExperimentContext) -> str:
                 for source, count in sorted(c["occupancy"].items())
             )
             lines.append(f"    occupancy by source: {occ}")
+    if result.churn is not None:
+        ch = result.churn
+        lines.append(
+            f"  churn {ch['spec']}: {ch['joins']} joins, {ch['leaves']} "
+            f"leaves ({ch['skipped_floor']} floor-skipped), final "
+            f"membership {ch['final_receivers']}"
+        )
     if traced:
         if args.trace_out:
             lines.append(f"  event stream written to {args.trace_out}")

@@ -67,6 +67,16 @@ class SimulationConfig:
     #: Simulated seconds to keep running after the last data packet so
     #: tail losses finish recovering.
     drain_time: float = 30.0
+    #: Scale mode: skip the simulated session exchange and back every
+    #: distance estimator with an analytic tree-distance oracle instead
+    #: (:class:`repro.srm.session.TreeDistanceOracle`).  Sessions are
+    #: O(n²) deliveries per period, which caps simulable group sizes
+    #: around 10^3; primed runs reach 10^5+ receivers with the same
+    #: timer math (the oracle returns exactly what a lossless exchange
+    #: converges to).  False — the default — simulates the exchange and
+    #: keeps runs byte-identical to pre-scale builds (the field is
+    #: omitted from job keys and summaries when False).
+    prime_distances: bool = False
     #: Master seed for all protocol jitter in the run.
     seed: int = 0
     #: Replay only the first N packets of the trace (None = full trace).

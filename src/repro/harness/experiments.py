@@ -75,6 +75,7 @@ class ExperimentContext:
         faults: FaultPlan | None = None,
         workload: str = "",
         cache_policy: str = "",
+        churn: str = "",
     ) -> None:
         if max_packets == "default":
             max_packets = default_max_packets()
@@ -87,6 +88,11 @@ class ExperimentContext:
             from repro.workloads import compile_workload
 
             compile_workload(workload)
+        self.churn = churn
+        if churn:
+            from repro.churn import compile_churn
+
+            compile_churn(churn)
         # ``cache`` is already taken by the RunCache handle, so the recovery
         # cache-policy spec rides in as ``cache_policy`` and folds into the
         # config (where SimulationConfig validates it eagerly).
@@ -121,6 +127,7 @@ class ExperimentContext:
             trace_max_packets=self.max_packets,
             faults=self.faults,
             workload=self.workload,
+            churn=self.churn,
         )
 
     def _execute_local(self, job: RunJob) -> RunSummary:
@@ -141,6 +148,7 @@ class ExperimentContext:
                 job.config,
                 faults=job.faults,
                 workload=job.workload or None,
+                churn=job.churn,
             )
         )
 

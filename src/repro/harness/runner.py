@@ -72,6 +72,11 @@ class RunResult:
     #: default-cache runs (keeping those summaries byte-identical to
     #: builds without cachelab support).
     cache: dict | None = None
+    #: Membership-churn counters (joins/leaves/final membership) when the
+    #: run carried a non-empty :mod:`repro.churn` spec; None on a
+    #: static-membership run (keeping those summaries byte-identical to
+    #: builds without churn support).
+    churn: dict | None = None
 
     # ------------------------------------------------------------------
     # Figure-level derived quantities
@@ -148,6 +153,7 @@ class Simulation:
     monitor: InvariantMonitor | None = None
     faults: FaultInjector | None = None
     workload: Any | None = None
+    churn: Any | None = None
     send_events: tuple = ()
 
 
@@ -159,6 +165,7 @@ def build_simulation(
     profiler=None,
     faults: FaultPlan | None = None,
     workload=None,
+    churn: str = "",
 ) -> Simulation:
     """Wire up engine, network, loss injection, and agents for one run.
 
@@ -176,13 +183,29 @@ def build_simulation(
     compiled :class:`~repro.workloads.Workload`; like ``faults`` it is part
     of the run's identity, and ``None`` takes the original hard-coded
     source-paced schedule, byte for byte.
+    ``churn`` is an optional :mod:`repro.churn` spec string (or compiled
+    :class:`~repro.churn.ChurnPlan`); a non-empty spec installs a seeded
+    join/leave process over the run, and the empty spec leaves the run
+    byte-identical to a build without churn support.
     """
     spec = get_spec(protocol)
     plan = faults if faults is not None else FaultPlan()
+    churn_plan = None
+    if churn:
+        from repro.churn import compile_churn
+
+        churn_plan = compile_churn(churn) if isinstance(churn, str) else churn
+        if churn_plan.empty:
+            churn_plan = None
     if config.max_packets is not None:
         synthetic = synthetic.truncated(config.max_packets)
     trace = synthetic.trace
     tree = trace.tree
+    if churn_plan is not None:
+        # Churn patches the topology in place, and synthesized traces
+        # (with their trees) are shared across runs — patch a private
+        # clone so the trace stays pristine for the next run.
+        tree = tree.clone()
 
     sim = Simulator()
     sim.tracer = tracer
@@ -206,8 +229,11 @@ def build_simulation(
     network.faults = injector
 
     fabric = spec.build_fabric(tree)
-    agents: dict[str, SrmAgent] = {}
-    for host in tree.hosts:
+
+    def make_agent(host: str) -> SrmAgent:
+        # One recipe for initial members and churn joiners alike: every
+        # agent draws jitter from its own named stream, so membership
+        # changes never perturb another host's randomness.
         kwargs: dict = dict(
             sim=sim,
             network=network,
@@ -222,13 +248,30 @@ def build_simulation(
         kwargs.update(spec.extra_agent_kwargs(config))
         if fabric is not None:
             kwargs.update(fabric=fabric)
-        agents[host] = spec.agent_cls(**kwargs)
+        return spec.agent_cls(**kwargs)
 
-    # Stagger session starts across one period so they never synchronize.
+    agents: dict[str, SrmAgent] = {host: make_agent(host) for host in tree.hosts}
+
     hosts = tree.hosts
-    for index, host in enumerate(hosts):
-        offset = (index + 0.5) * config.session_period / (len(hosts) + 1)
-        agents[host].start(session_offset=offset)
+    if config.prime_distances:
+        # Scale mode: the session exchange is O(n²) deliveries per
+        # period, so at 10^4+ receivers we seed every estimator with an
+        # analytic oracle and never start the session timers — the
+        # oracle answers exactly what a lossless exchange converges to.
+        from repro.srm.session import TreeDistanceOracle
+
+        oracle: TreeDistanceOracle | None = TreeDistanceOracle(
+            tree, config.propagation_delay
+        )
+        for agent in agents.values():
+            agent.distances.prime(oracle)
+    else:
+        oracle = None
+        # Stagger session starts across one period so they never
+        # synchronize.
+        for index, host in enumerate(hosts):
+            offset = (index + 0.5) * config.session_period / (len(hosts) + 1)
+            agents[host].start(session_offset=offset)
 
     # Schedule the whole data transmission: the legacy source-paced
     # schedule when no workload is given (kept verbatim — its floats are
@@ -264,6 +307,24 @@ def build_simulation(
     injector.install(
         agents, end_time=end_time, on_host_crash=spec.crash_callback(fabric)
     )
+    churn_engine = None
+    if churn_plan is not None:
+        from repro.churn import ChurnEngine
+
+        joiner_factory = make_agent
+        if oracle is not None:
+            def joiner_factory(host: str) -> SrmAgent:
+                agent = make_agent(host)
+                agent.distances.prime(oracle)
+                return agent
+
+        churn_engine = ChurnEngine(churn_plan, sim, network, registry)
+        churn_engine.install(
+            agents,
+            end_time=end_time,
+            agent_factory=joiner_factory,
+            source_agent=source_agent,
+        )
     return Simulation(
         sim=sim,
         network=network,
@@ -277,6 +338,7 @@ def build_simulation(
         monitor=monitor,
         faults=injector,
         workload=workload_obj,
+        churn=churn_engine,
         send_events=send_events,
     )
 
@@ -289,13 +351,14 @@ def run_trace(
     profiler=None,
     faults: FaultPlan | None = None,
     workload=None,
+    churn: str = "",
 ) -> RunResult:
     """Run one protocol over one trace and collect the paper's metrics."""
     config = config or SimulationConfig()
     wall_start = _time.perf_counter()
     simulation = build_simulation(
         synthetic, protocol, config, tracer=tracer, profiler=profiler,
-        faults=faults, workload=workload,
+        faults=faults, workload=workload, churn=churn,
     )
     sim = simulation.sim
     sim.run(until=simulation.end_time)
@@ -355,6 +418,9 @@ def run_trace(
             else None
         ),
         cache=_cache_stats(simulation, metrics) if config.cache else None,
+        churn=(
+            simulation.churn.stats() if simulation.churn is not None else None
+        ),
     )
 
 

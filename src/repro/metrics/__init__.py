@@ -11,6 +11,7 @@ ingredients collected here:
 """
 
 from repro.metrics.collector import MetricsCollector, RecoveryRecord
+from repro.metrics.memory import peak_rss_bytes, peak_rss_mb
 from repro.metrics.stats import mean, median, percentile, safe_ratio
 from repro.metrics.overhead import OverheadBreakdown, overhead_breakdown
 
@@ -23,4 +24,6 @@ __all__ = [
     "safe_ratio",
     "OverheadBreakdown",
     "overhead_breakdown",
+    "peak_rss_bytes",
+    "peak_rss_mb",
 ]

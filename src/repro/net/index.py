@@ -1,22 +1,39 @@
-"""Frozen integer-indexed view of a multicast tree — the forwarding kernel's
+"""Integer-indexed view of a multicast tree — the forwarding kernel's
 topology side.
 
-A :class:`TopologyIndex` is built once per
-:class:`~repro.net.topology.MulticastTree` (lazily, via ``tree.index``) and
-never mutated afterwards.  It interns every node id to a dense integer in
-the tree's deterministic construction order and precomputes everything the
-hot path asks per hop or per query:
+A :class:`TopologyIndex` is built per
+:class:`~repro.net.topology.MulticastTree` (lazily, via ``tree.index``).
+It interns every node id to a dense integer in the tree's deterministic
+construction order and serves everything the hot path asks per hop or
+per query:
 
 * parent / children / neighbor arrays (children first, then the parent —
   the flood fan-out order of the string implementation),
-* per-node depth and Euler-tour ``tin``/``tout`` intervals (O(1) strict
-  descendant tests),
-* a binary-lifting ancestor table (O(log depth) LCA, hence O(1)-ish paths
-  and hop distances without the old unbounded ``(a, b)``-keyed path cache),
-* a dense per-pair next-hop table (``next_hop[u * n + v]`` = first hop
-  from ``u`` toward ``v``),
-* subtree-receiver bitsets (one bit per receiver, in ``tree.receivers``
-  order), replacing per-query ``frozenset`` algebra in the attribution DP.
+* per-node depth and a binary-lifting ancestor table (O(log depth) LCA,
+  paths, hop distances, and per-pair next hops),
+* Euler-tour ``tin``/``tout`` intervals (O(1) strict descendant tests),
+* subtree-receiver bitsets (one bit per receiver), replacing per-query
+  ``frozenset`` algebra in the attribution DP,
+* a dense per-pair next-hop table (``next_hop[u * n + v]``).
+
+Scale split: the structures above the first two bullets are *lazy*.  The
+eager core (ids, parent/children/depth, lifting table) is O(n log depth)
+to build, so a 10^5-node index is cheap; the Euler group recomputes in
+one O(n) walk when dirty, the bitset group only materializes for the
+attribution DP (which runs on small measured worlds), and the dense
+next-hop table — O(n^2), fine at Yajnik scale, impossible at 10^5 —
+materializes only on attribute access (:meth:`next_hop_int` answers the
+same query lazily in O(log depth)).
+
+Membership churn: :meth:`attach_leaf` and :meth:`detach_subtree` patch
+the index in place instead of rebuilding.  Detached nodes are
+tombstoned (``alive`` bytearray) and keep their dense ids; a rejoining
+leaf revives its id (and its receiver bit).  Patches update the eager
+core incrementally — O(log depth) per attach — and invalidate the lazy
+groups, so a burst of churn costs one deferred O(n) recompute instead of
+one O(n) rebuild per event.  ``tests/test_index_patch.py`` holds the
+oracle: any patch sequence must answer every query exactly like a
+from-scratch rebuild of the patched tree.
 
 Everything here is pure data: the index never imports the topology module
 (the tree hands its structures over at construction), so the two modules
@@ -30,7 +47,7 @@ NO_NODE = -1
 
 
 class TopologyIndex:
-    """Integer-interned, fully precomputed topology of one multicast tree.
+    """Integer-interned topology of one multicast tree.
 
     Parameters
     ----------
@@ -50,18 +67,23 @@ class TopologyIndex:
         "n",
         "names",
         "ids",
+        "root",
         "parent",
         "depth",
         "children",
         "neighbors",
-        "tin",
-        "tout",
-        "post_order",
-        "next_hop",
+        "alive",
         "receiver_ids",
-        "receiver_bit",
-        "subtree_bits",
+        "_receiver_slot",
         "_up",
+        "_tin",
+        "_tout",
+        "_post_order",
+        "_euler_dirty",
+        "_receiver_bit",
+        "_subtree_bits",
+        "_bits_dirty",
+        "_next_hop",
     )
 
     def __init__(
@@ -73,29 +95,68 @@ class TopologyIndex:
     ) -> None:
         n = len(names)
         self.n = n
-        self.names = tuple(names)
-        self.ids = {name: i for i, name in enumerate(self.names)}
+        self.names = list(names)
+        self.ids = {name: i for i, name in enumerate(names)}
         ids = self.ids
 
         self.parent = [
             ids[parent_of[name]] if name in parent_of else NO_NODE for name in names
         ]
-        self.children = tuple(
+        self.children = [
             tuple(ids[child] for child in children_of[name]) for name in names
-        )
-        self.neighbors = tuple(
+        ]
+        self.neighbors = [
             kids if self.parent[i] == NO_NODE else kids + (self.parent[i],)
             for i, kids in enumerate(self.children)
-        )
+        ]
+        self.root = self.parent.index(NO_NODE)
+        self.alive = bytearray(b"\x01" * n)
 
-        # Depth + Euler intervals in one preorder walk from the root.
-        root = self.parent.index(NO_NODE)
+        # Depth in one preorder walk from the root.
         depth = [0] * n
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            d = depth[node] + 1
+            for child in self.children[node]:
+                depth[child] = d
+                stack.append(child)
+        self.depth = depth
+
+        # Binary lifting for LCA: _up[k][v] = 2^k-th ancestor (root-clamped).
+        levels = max(1, max(depth).bit_length())
+        up0 = [p if p != NO_NODE else self.root for p in self.parent]
+        up = [up0]
+        for _ in range(1, levels):
+            prev = up[-1]
+            up.append([prev[prev[v]] for v in range(n)])
+        self._up = up
+
+        # Receiver bit slots: receiver i (display order) owns bit 1 << i.
+        self.receiver_ids = [ids[r] for r in receivers]
+        self._receiver_slot = {r: i for i, r in enumerate(self.receiver_ids)}
+
+        # Lazy groups (Euler intervals, bitsets, dense routing rows).
+        self._tin: list[int] = []
+        self._tout: list[int] = []
+        self._post_order: tuple[int, ...] = ()
+        self._euler_dirty = True
+        self._receiver_bit: list[int] = []
+        self._subtree_bits: list[int] = []
+        self._bits_dirty = True
+        self._next_hop: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Lazy groups
+    # ------------------------------------------------------------------
+    def _recompute_euler(self) -> None:
+        """Euler intervals + post-order over the *alive* tree, one walk."""
+        n = self.n
         tin = [0] * n
         tout = [0] * n
         clock = 0
         post: list[int] = []
-        stack: list[tuple[int, bool]] = [(root, False)]
+        stack: list[tuple[int, bool]] = [(self.root, False)]
         while stack:
             node, done = stack.pop()
             if done:
@@ -107,55 +168,205 @@ class TopologyIndex:
             clock += 1
             stack.append((node, True))
             for child in reversed(self.children[node]):
-                depth[child] = depth[node] + 1
                 stack.append((child, False))
-        self.depth = depth
-        self.tin = tin
-        self.tout = tout
-        self.post_order = tuple(post)
+        self._tin = tin
+        self._tout = tout
+        self._post_order = tuple(post)
+        self._euler_dirty = False
 
-        # Binary lifting for LCA: _up[k][v] = 2^k-th ancestor (root-clamped).
-        levels = max(1, max(depth).bit_length())
-        up0 = [p if p != NO_NODE else root for p in self.parent]
-        up = [up0]
-        for _ in range(1, levels):
-            prev = up[-1]
-            up.append([prev[prev[v]] for v in range(n)])
-        self._up = up
-
-        # Dense next-hop table: one BFS per origin over the neighbor arrays.
-        next_hop = [NO_NODE] * (n * n)
-        for origin in range(n):
-            base = origin * n
-            frontier = [origin]
-            seen = bytearray(n)
-            seen[origin] = 1
-            while frontier:
-                nxt: list[int] = []
-                for node in frontier:
-                    hop = next_hop[base + node]  # NO_NODE only at the origin
-                    for nb in self.neighbors[node]:
-                        if seen[nb]:
-                            continue
-                        seen[nb] = 1
-                        next_hop[base + nb] = nb if hop == NO_NODE else hop
-                        nxt.append(nb)
-                frontier = nxt
-        self.next_hop = next_hop
-
-        # Receiver bitsets: receiver i (display order) owns bit 1 << i.
-        self.receiver_ids = tuple(ids[r] for r in receivers)
-        receiver_bit = [0] * n
-        for i, r in enumerate(self.receiver_ids):
-            receiver_bit[r] = 1 << i
-        self.receiver_bit = receiver_bit
+    def _recompute_bits(self) -> None:
+        """Receiver/subtree bitsets over the alive tree (dead receivers
+        keep their slot but contribute no bit)."""
+        receiver_bit = [0] * self.n
+        alive = self.alive
+        for slot, r in enumerate(self.receiver_ids):
+            if alive[r]:
+                receiver_bit[r] = 1 << slot
         subtree = list(receiver_bit)
         for node in self.post_order:
             acc = subtree[node]
             for child in self.children[node]:
                 acc |= subtree[child]
             subtree[node] = acc
-        self.subtree_bits = subtree
+        self._receiver_bit = receiver_bit
+        self._subtree_bits = subtree
+        self._bits_dirty = False
+
+    @property
+    def tin(self) -> list[int]:
+        if self._euler_dirty:
+            self._recompute_euler()
+        return self._tin
+
+    @property
+    def tout(self) -> list[int]:
+        if self._euler_dirty:
+            self._recompute_euler()
+        return self._tout
+
+    @property
+    def post_order(self) -> tuple[int, ...]:
+        if self._euler_dirty:
+            self._recompute_euler()
+        return self._post_order
+
+    @property
+    def receiver_bit(self) -> list[int]:
+        if self._bits_dirty:
+            self._recompute_bits()
+        return self._receiver_bit
+
+    @property
+    def subtree_bits(self) -> list[int]:
+        if self._bits_dirty:
+            self._recompute_bits()
+        return self._subtree_bits
+
+    @property
+    def next_hop(self) -> list[int]:
+        """Dense next-hop table (``next_hop[u * n + v]``), materialized on
+        first access — O(n^2), for small worlds and the patch oracle; the
+        hot path and large worlds use :meth:`next_hop_int`."""
+        if self._next_hop is None:
+            n = self.n
+            next_hop = [NO_NODE] * (n * n)
+            for origin in range(n):
+                if not self.alive[origin]:
+                    continue
+                base = origin * n
+                frontier = [origin]
+                seen = bytearray(n)
+                seen[origin] = 1
+                while frontier:
+                    nxt: list[int] = []
+                    for node in frontier:
+                        hop = next_hop[base + node]  # NO_NODE only at the origin
+                        for nb in self.neighbors[node]:
+                            if seen[nb]:
+                                continue
+                            seen[nb] = 1
+                            next_hop[base + nb] = nb if hop == NO_NODE else hop
+                            nxt.append(nb)
+                    frontier = nxt
+            self._next_hop = next_hop
+        return self._next_hop
+
+    # ------------------------------------------------------------------
+    # Membership patching
+    # ------------------------------------------------------------------
+    def _ancestor_at_depth(self, node: int, target_depth: int) -> int:
+        """Jump ``node`` up to its ancestor at ``target_depth``."""
+        diff = self.depth[node] - target_depth
+        up = self._up
+        k = 0
+        while diff:
+            if diff & 1:
+                node = up[k][node]
+            diff >>= 1
+            k += 1
+        return node
+
+    def _ensure_levels(self, wanted: int) -> None:
+        """Grow the lifting table to ``wanted`` levels (column-wise, so
+        existing entries — including tombstoned rows — stay coherent)."""
+        up = self._up
+        n = self.n
+        while len(up) < wanted:
+            prev = up[-1]
+            up.append([prev[prev[v]] for v in range(n)])
+
+    def _set_lifting_row(self, node: int, parent_id: int) -> None:
+        d = self.depth[node]
+        self._ensure_levels(max(1, d.bit_length()))
+        up = self._up
+        up[0][node] = parent_id
+        for k in range(1, len(up)):
+            prev = up[k - 1]
+            up[k][node] = prev[prev[node]]
+
+    def attach_leaf(self, name: str, parent_name: str, receiver: bool = True) -> int:
+        """Attach (or revive) ``name`` as a new leaf under ``parent_name``.
+
+        A brand-new name gets the next dense id; a tombstoned name is
+        revived in place, reusing its id and — for receivers — its bit
+        slot.  O(log depth) plus lazy-group invalidation.  Returns the
+        node id.
+        """
+        pid = self.ids.get(parent_name)
+        if pid is None or not self.alive[pid]:
+            raise ValueError(f"cannot attach under unknown/detached node {parent_name!r}")
+        node = self.ids.get(name)
+        if node is not None:
+            if self.alive[node]:
+                raise ValueError(f"node {name!r} is already attached")
+            self.alive[node] = 1
+            self.parent[node] = pid
+            self.depth[node] = self.depth[pid] + 1
+            # A revived node always comes back as a leaf; any tombstoned
+            # descendants it had stay unreachable until they rejoin.
+            self.children[node] = ()
+            self.neighbors[node] = (pid,)
+            self._set_lifting_row(node, pid)
+        else:
+            node = self.n
+            self.n = node + 1
+            self.names.append(name)
+            self.ids[name] = node
+            self.parent.append(pid)
+            self.depth.append(self.depth[pid] + 1)
+            self.children.append(())
+            self.neighbors.append((pid,))
+            self.alive.append(1)
+            up = self._up
+            up[0].append(pid)
+            for k in range(1, len(up)):
+                prev = up[k - 1]
+                up[k].append(prev[prev[node]])
+            self._ensure_levels(max(1, self.depth[node].bit_length()))
+        # The rebuilt index orders a parent's children by insertion, new
+        # child last — and neighbors as children-then-parent.
+        kids = self.children[pid] + (node,)
+        self.children[pid] = kids
+        self.neighbors[pid] = (
+            kids if self.parent[pid] == NO_NODE else kids + (self.parent[pid],)
+        )
+        if receiver:
+            if node not in self._receiver_slot:
+                self._receiver_slot[node] = len(self.receiver_ids)
+                self.receiver_ids.append(node)
+        self._euler_dirty = True
+        self._bits_dirty = True
+        self._next_hop = None
+        return node
+
+    def detach_subtree(self, name: str) -> tuple[int, ...]:
+        """Tombstone ``name`` and everything below it; returns the
+        detached ids (preorder).  The root cannot be detached."""
+        node = self.ids.get(name)
+        if node is None or not self.alive[node]:
+            raise ValueError(f"cannot detach unknown/detached node {name!r}")
+        if node == self.root:
+            raise ValueError("cannot detach the root")
+        pid = self.parent[node]
+        kids = tuple(k for k in self.children[pid] if k != node)
+        self.children[pid] = kids
+        self.neighbors[pid] = (
+            kids if self.parent[pid] == NO_NODE else kids + (self.parent[pid],)
+        )
+        detached: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            self.alive[cur] = 0
+            detached.append(cur)
+            stack.extend(self.children[cur])
+        self._euler_dirty = True
+        self._bits_dirty = True
+        self._next_hop = None
+        return tuple(detached)
+
+    def alive_ids(self) -> tuple[int, ...]:
+        return tuple(i for i in range(self.n) if self.alive[i])
 
     # ------------------------------------------------------------------
     # Integer queries (the hot path)
@@ -187,11 +398,23 @@ class TopologyIndex:
 
     def is_descendant_int(self, node: int, ancestor: int) -> bool:
         """True if ``node`` lies *strictly* below ``ancestor``."""
+        if self._euler_dirty:
+            self._recompute_euler()
         return (
             node != ancestor
-            and self.tin[ancestor] <= self.tin[node]
-            and self.tout[node] <= self.tout[ancestor]
+            and self._tin[ancestor] <= self._tin[node]
+            and self._tout[node] <= self._tout[ancestor]
         )
+
+    def next_hop_int(self, origin: int, dest: int) -> int:
+        """First hop from ``origin`` toward ``dest`` in O(log depth) —
+        the lazy equivalent of one :attr:`next_hop` cell."""
+        if origin == dest:
+            return NO_NODE
+        top = self.lca_int(origin, dest)
+        if top != origin:
+            return self.parent[origin]
+        return self._ancestor_at_depth(dest, self.depth[origin] + 1)
 
     def path_ints(self, a: int, b: int) -> tuple[int, ...]:
         """The unique tree path from ``a`` to ``b``, inclusive of both."""

@@ -69,6 +69,12 @@ _UNICAST_CONTROL_SLOTS = tuple(
     row * _N_CAST + _UNICAST_COL for row in _RECOVERY_CONTROL_ROWS
 )
 
+#: Directed hops are keyed ``u << _HOP_SHIFT | v`` — a fixed-stride int
+#: key that stays valid as membership churn appends node ids (the old
+#: ``u * n + v`` keying broke the moment ``n`` grew).  2^21 node ids is
+#: comfortably above the topology registry's receiver cap.
+_HOP_SHIFT = 21
+
 
 class Agent(Protocol):
     """What the network requires of an attached host agent."""
@@ -193,6 +199,10 @@ class Network:
         self.packets_delivered = 0
         self._agents: dict[str, Agent] = {}
         self._links: dict[tuple[str, str], LinkState] = {}
+        #: Node ids removed by :meth:`detach_subtree` (membership churn).
+        #: Unicasts addressed to them — or crossing their removed links
+        #: mid-flight — die like any other loss instead of erroring.
+        self._detached_ids: set[int] = set()
 
         index = tree.index
         self._index = index
@@ -210,22 +220,23 @@ class Network:
         names = index.names
         for parent_id, kids in enumerate(index.children):
             for child_id in kids:
-                parent_name = names[parent_id]
-                child_name = names[child_id]
                 for u, v in ((parent_id, child_id), (child_id, parent_id)):
                     link = LinkState(
                         bandwidth_bps=bandwidth_bps,
                         propagation_delay=propagation_delay,
                     )
                     self._links[(names[u], names[v])] = link
-                    hop_record[u * n + v] = (v, names[u], names[v], link)
+                    hop_record[u << _HOP_SHIFT | v] = (v, names[u], names[v], link)
         self._hop_record = hop_record
         self._child_adj: list[tuple[tuple[int, str, str, LinkState], ...]] = [
-            tuple(hop_record[node * n + child] for child in index.children[node])
+            tuple(
+                hop_record[node << _HOP_SHIFT | child]
+                for child in index.children[node]
+            )
             for node in range(n)
         ]
         self._adj: list[tuple[tuple[int, str, str, LinkState], ...]] = [
-            tuple(hop_record[node * n + nb] for nb in index.neighbors[node])
+            tuple(hop_record[node << _HOP_SHIFT | nb] for nb in index.neighbors[node])
             for node in range(n)
         ]
 
@@ -241,6 +252,72 @@ class Network:
 
     def agent(self, host_id: str) -> Agent:
         return self._agents[host_id]
+
+    # ------------------------------------------------------------------
+    # Membership churn
+    # ------------------------------------------------------------------
+    def _rebuild_adjacency(self, node: int) -> None:
+        index = self._index
+        hop_record = self._hop_record
+        self._child_adj[node] = tuple(
+            hop_record[node << _HOP_SHIFT | child] for child in index.children[node]
+        )
+        self._adj[node] = tuple(
+            hop_record[node << _HOP_SHIFT | nb] for nb in index.neighbors[node]
+        )
+
+    def attach_receiver(self, name: str, parent: str) -> int:
+        """Grow the network for a joining receiver: patch the tree and
+        index, create the two directed links, and extend the adjacency
+        records.  The caller attaches the agent afterwards (normally via
+        the agent's constructor).  Returns the receiver's node id."""
+        self.tree.attach_receiver(name, parent)
+        index = self._index
+        nid = self._ids[name]
+        pid = self._ids[parent]
+        self._detached_ids.discard(nid)
+        while len(self._agents_by_id) < index.n:
+            self._agents_by_id.append(None)
+            self._adj.append(())
+            self._child_adj.append(())
+        names = self._names
+        hop_record = self._hop_record
+        for u, v in ((pid, nid), (nid, pid)):
+            # A rejoining receiver gets fresh links: the old attachment
+            # point (and its carried-bytes accounting) may differ.
+            link = LinkState(
+                bandwidth_bps=self.bandwidth_bps,
+                propagation_delay=self.propagation_delay,
+            )
+            self._links[(names[u], names[v])] = link
+            hop_record[u << _HOP_SHIFT | v] = (v, names[u], names[v], link)
+        self._rebuild_adjacency(nid)
+        self._rebuild_adjacency(pid)
+        return nid
+
+    def detach_subtree(self, name: str) -> tuple[str, ...]:
+        """Shrink the network for a leaving receiver (or router subtree):
+        patch the tree and index, drop agents, links and adjacency of
+        everything below.  Returns the detached node ids."""
+        index = self._index
+        pid = index.parent[self._ids[name]]
+        removed = self.tree.detach_subtree(name)
+        names = self._names
+        ids = self._ids
+        hop_record = self._hop_record
+        for rname in removed:
+            rid = ids[rname]
+            self._detached_ids.add(rid)
+            self._agents.pop(rname, None)
+            self._agents_by_id[rid] = None
+            self._adj[rid] = ()
+            self._child_adj[rid] = ()
+            prid = index.parent[rid]  # tombstones keep their parent pointer
+            for u, v in ((prid, rid), (rid, prid)):
+                self._links.pop((names[u], names[v]), None)
+                hop_record.pop(u << _HOP_SHIFT | v, None)
+        self._rebuild_adjacency(pid)
+        return removed
 
     def link_state(self, u: str, v: str) -> LinkState:
         """The directed link state for the hop ``u -> v``."""
@@ -280,8 +357,15 @@ class Network:
         packet.sent_at = self.sim._now
         if self.sim.tracer is not None:
             self._trace_send(packet, dest=dest)
+        dest_id = self._ids[dest]
+        if dest_id in self._detached_ids:
+            # The destination left the group after the sender learned its
+            # name (stale cache entry / request under churn); the packet
+            # dies in the network like any other loss.
+            self.packets_dropped += 1
+            return packet
         slot = _KIND_INDEX[packet.kind] * _N_CAST + _UNICAST_COL
-        path = self._index.path_ints(self._ids[packet.origin], self._ids[dest])
+        path = self._index.path_ints(self._ids[packet.origin], dest_id)
         self._unicast_transmit(path, 0, packet, False, slot)
         return packet
 
@@ -369,7 +453,12 @@ class Network:
         then_subcast: bool,
         slot: int,
     ) -> None:
-        record = self._hop_record[path[index] * self._n + path[index + 1]]
+        record = self._hop_record.get(path[index] << _HOP_SHIFT | path[index + 1])
+        if record is None:
+            # The next hop detached mid-flight (membership churn tore the
+            # link down under this packet); it dies here.
+            self.packets_dropped += 1
+            return
         self._transmit(
             record,
             packet,
@@ -395,6 +484,9 @@ class Network:
             return
         agent = self._agents_by_id[node]
         if agent is None:
+            if node in self._detached_ids:
+                self.packets_dropped += 1
+                return
             raise RuntimeError(
                 f"unicast destination {self._names[node]!r} has no agent"
             )

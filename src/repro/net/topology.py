@@ -35,7 +35,7 @@ class NodeKind(enum.Enum):
     RECEIVER = "receiver"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TreeNode:
     """A node of the multicast tree."""
 
@@ -119,16 +119,27 @@ class MulticastTree:
             if node.kind is NodeKind.SOURCE and is_leaf and self.receivers:
                 raise TopologyError("source has no children but receivers exist")
 
+        # Lazy: filled on the first subtree_receivers() query.  Eager fill
+        # is O(sum of subtree sizes) — fine at Yajnik scale, a large slice
+        # of peak RSS at 10^5 receivers where nothing ever asks.
         self._subtree_receivers: dict[str, frozenset[str]] = {}
-        self._fill_subtree_receivers(source)
         self._index: TopologyIndex | None = None
+
+    def clone(self) -> "MulticastTree":
+        """An independent tree with the same structure and no materialized
+        index.  Membership churn patches its topology in place, and
+        synthesized traces share one tree across runs — so a churn run
+        patches a private clone.  Only valid on a tree that still satisfies
+        the construction invariants (i.e. before any patching)."""
+        return MulticastTree(self.source, self._parents, list(self.receivers))
 
     @property
     def index(self) -> TopologyIndex:
-        """The frozen integer-indexed kernel view of this tree, built on
-        first use and shared by every consumer (network, attribution DP,
-        fabrics).  The tree is immutable after construction, so the index
-        never invalidates."""
+        """The integer-indexed kernel view of this tree, built on first
+        use and shared by every consumer (network, attribution DP,
+        fabrics).  Membership patches (:meth:`attach_receiver` /
+        :meth:`detach_subtree`) update it in place, so the handle stays
+        valid across churn."""
         if self._index is None:
             self._index = TopologyIndex(
                 names=tuple(self._nodes),
@@ -137,6 +148,62 @@ class MulticastTree:
                 receivers=self.receivers,
             )
         return self._index
+
+    # ------------------------------------------------------------------
+    # Membership patching (join/leave churn)
+    # ------------------------------------------------------------------
+    def attach_receiver(self, name: str, parent: str) -> None:
+        """Attach (or re-attach) receiver ``name`` as a new leaf under
+        router ``parent``, patching the materialized index in place.
+
+        The ``receivers`` display tuple keeps the *initial* membership
+        (result rows stay comparable across churn rates); use
+        :meth:`current_receivers` for the live set.
+        """
+        if name in self._nodes:
+            raise TopologyError(f"node {name!r} is already attached")
+        node = self._node(parent)
+        if node.kind is NodeKind.RECEIVER:
+            raise TopologyError(f"cannot attach under receiver {parent!r}")
+        self._parents[name] = parent
+        self._children[parent].append(name)
+        self._children[name] = []
+        self._nodes[name] = TreeNode(name, NodeKind.RECEIVER, parent, node.depth + 1)
+        self._subtree_receivers.clear()
+        if self._index is not None:
+            self._index.attach_leaf(name, parent, receiver=True)
+
+    def detach_subtree(self, name: str) -> tuple[str, ...]:
+        """Detach ``name`` and everything below it (a leaving receiver,
+        or a router subtree taking its receivers with it), patching the
+        materialized index in place.  Returns the detached node ids."""
+        node = self._node(name)
+        if node.kind is NodeKind.SOURCE:
+            raise TopologyError("cannot detach the source")
+        removed: list[str] = []
+        stack = [name]
+        while stack:
+            cur = stack.pop()
+            removed.append(cur)
+            stack.extend(self._children[cur])
+        for cur in removed:
+            del self._nodes[cur]
+            del self._children[cur]
+            del self._parents[cur]
+        self._children[node.parent].remove(name)
+        self._subtree_receivers.clear()
+        if self._index is not None:
+            self._index.detach_subtree(name)
+        return tuple(removed)
+
+    def current_receivers(self) -> list[str]:
+        """The *live* receiver ids (initial membership minus leaves plus
+        joins), in node order."""
+        return [
+            nid
+            for nid, node in self._nodes.items()
+            if node.kind is NodeKind.RECEIVER
+        ]
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -201,20 +268,33 @@ class MulticastTree:
     def subtree_receivers(self, node_id: str) -> frozenset[str]:
         """Receivers in the subtree rooted at ``node_id`` (§4.2's R(n))."""
         self._node(node_id)
+        if not self._subtree_receivers:
+            self._fill_subtree_receivers()
         return self._subtree_receivers[node_id]
 
-    def _fill_subtree_receivers(self, node_id: str) -> frozenset[str]:
-        kids = self._children[node_id]
-        if not kids:
-            node = self._nodes[node_id]
-            result = frozenset([node_id]) if node.kind is NodeKind.RECEIVER else frozenset()
-        else:
-            acc: set[str] = set()
-            for child in kids:
-                acc |= self._fill_subtree_receivers(child)
-            result = frozenset(acc)
-        self._subtree_receivers[node_id] = result
-        return result
+    def _fill_subtree_receivers(self) -> None:
+        """Fill the whole R(n) table in one iterative post-order pass."""
+        out = self._subtree_receivers
+        order: list[str] = []
+        stack = [self.source]
+        while stack:
+            node_id = stack.pop()
+            order.append(node_id)
+            stack.extend(self._children[node_id])
+        for node_id in reversed(order):
+            kids = self._children[node_id]
+            if not kids:
+                node = self._nodes[node_id]
+                out[node_id] = (
+                    frozenset([node_id])
+                    if node.kind is NodeKind.RECEIVER
+                    else frozenset()
+                )
+            else:
+                acc: set[str] = set()
+                for child in kids:
+                    acc |= out[child]
+                out[node_id] = frozenset(acc)
 
     def is_descendant(self, node_id: str, ancestor: str) -> bool:
         """True if ``node_id`` lies strictly below ``ancestor``."""
@@ -369,8 +449,10 @@ def build_random_tree(
 
     for receiver in receivers[1:]:
         # Candidate routers can host receivers at depth router_depth + 1 <= depth.
+        # Weights are 1..len by registration order (later routers sit deeper),
+        # identical draws to the original routers.index() formulation.
         candidates = [r for r in routers]
-        weights = [1 + routers.index(r) for r in candidates]  # deeper => likelier
+        weights = list(range(1, len(candidates) + 1))  # deeper => likelier
         attach = rng.choices(candidates, weights=weights, k=1)[0]
         if rng.random() < extra_branch_prob:
             attach_depth = _router_depth(attach, parents, source)

@@ -80,6 +80,10 @@ class EventKind:
     FAULT_DUPLICATE = "fault.duplicate"      # hop rule copied the packet
     FAULT_REORDER = "fault.reorder"          # hop rule added arrival delay
 
+    # -- membership churn (repro.churn) --------------------------------
+    CHURN_JOIN = "churn.join"                # new receiver attached
+    CHURN_LEAVE = "churn.leave"              # live receiver departed
+
     # -- runtime verification ------------------------------------------
     INVARIANT_VIOLATION = "invariant.violation"
 

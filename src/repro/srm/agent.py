@@ -54,7 +54,7 @@ _REPL = PacketKind.REPL
 _EREPL = PacketKind.EREPL
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceState:
     """Everything a host tracks about one source's stream."""
 

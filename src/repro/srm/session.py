@@ -35,10 +35,45 @@ class SessionReport:
     echoes: dict[str, tuple[float, float]]
 
 
-@dataclass
+@dataclass(slots=True)
 class _PeerRecord:
     last_sent_at: float = -1.0
     received_at: float = -1.0
+
+
+class TreeDistanceOracle:
+    """Analytic pairwise distances computed from the topology on demand.
+
+    At 10^5 receivers the session exchange is infeasible to simulate —
+    every member multicasting to every other member is O(n²) deliveries
+    per period — and so is materializing the pairwise distance matrix the
+    exchange would converge to.  The oracle is the scale-mode shortcut
+    (``SimulationConfig.prime_distances``): one shared object per run
+    answering ``distance(a, b)`` by an O(1) LCA hop count times the
+    propagation delay, memoized per queried pair.  That is exactly the
+    value a lossless session exchange converges to (§4.3), so primed runs
+    recover with the same timer math — they just skip simulating the
+    convergence.
+    """
+
+    __slots__ = ("_index", "_ids", "_delay", "_cache")
+
+    def __init__(self, tree, propagation_delay: float) -> None:
+        self._index = tree.index
+        self._ids = tree.index.ids
+        self._delay = propagation_delay
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def distance(self, a: str, b: str) -> float:
+        key = (a, b)
+        found = self._cache.get(key)
+        if found is None:
+            found = (
+                self._index.hop_distance_int(self._ids[a], self._ids[b])
+                * self._delay
+            )
+            self._cache[key] = found
+        return found
 
 
 class DistanceEstimator:
@@ -49,10 +84,31 @@ class DistanceEstimator:
         self._estimates: dict[str, float] = {}
         self._peers: dict[str, _PeerRecord] = {}
         self.updates = 0
+        self._oracle: TreeDistanceOracle | None = None
         # Shadow the get_or method with the estimate dict's own bound
         # ``get`` (same signature): agents call it once per observed reply
         # and per scheduled timer, where the extra Python frame shows up.
         self.get_or = self._estimates.get
+
+    # -- priming (scale mode) ------------------------------------------
+    def prime(self, oracle: TreeDistanceOracle) -> None:
+        """Back this estimator with an analytic oracle: session-learned
+        estimates still win, and any peer never heard from resolves to
+        its true tree distance instead of the default.  Swaps the
+        ``get_or`` fast path; unprimed estimators keep the bound
+        ``dict.get`` byte for byte."""
+        self._oracle = oracle
+        host_id = self.host_id
+        estimates_get = self._estimates.get
+        oracle_distance = oracle.distance
+
+        def get_or(peer: str, default: float) -> float:
+            found = estimates_get(peer)
+            if found is not None:
+                return found
+            return oracle_distance(host_id, peer)
+
+        self.get_or = get_or
 
     # -- incoming ------------------------------------------------------
     def on_session(self, report: SessionReport, now: float) -> None:

@@ -5,16 +5,88 @@ back-off count, abstinence deadline); a host asked to retransmit holds a
 :class:`ReplyState` (reply timer, requestor bookkeeping, abstinence
 deadline).  The states are plain mutable records — the scheduling logic
 lives in :class:`repro.srm.agent.SrmAgent`.
+
+Scale: these records exist per host (times per missing packet for the
+recovery states), so at 10^5 receivers their footprint dominates the
+run's RSS.  All of them are ``__slots__`` dataclasses, and the per-stream
+reception sets are :class:`SeqSet` bitmaps — sequence numbers are dense
+(``0..max_seq``), so a bytearray bit per seqno replaces ~32 bytes per
+hash-table entry while keeping the exact ``set`` operations the kernel
+uses (``add``/``in``/``len``/truthiness/iteration).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.sim.timers import Timer
 
 
-@dataclass
+class SeqSet:
+    """A set of non-negative sequence numbers backed by a bitmap.
+
+    Supports the operations the recovery kernel, the invariant monitor,
+    and the tests perform on reception state: ``add``, ``in``, ``len``,
+    truthiness, ascending iteration (``max()``/``sorted()`` work), and
+    being the right operand of ``set - seqset``.  Removal is deliberately
+    absent — reception state only grows.
+    """
+
+    __slots__ = ("_bits", "_len")
+
+    def __init__(self, seqs: Iterable[int] = ()) -> None:
+        self._bits = bytearray()
+        self._len = 0
+        for seq in seqs:
+            self.add(seq)
+
+    def add(self, seq: int) -> None:
+        if seq < 0:
+            raise ValueError(f"SeqSet holds non-negative seqnos, got {seq}")
+        byte = seq >> 3
+        bits = self._bits
+        if byte >= len(bits):
+            bits.extend(b"\0" * (byte + 1 - len(bits)))
+        mask = 1 << (seq & 7)
+        if not bits[byte] & mask:
+            bits[byte] |= mask
+            self._len += 1
+
+    def __contains__(self, seq: int) -> bool:
+        byte = seq >> 3
+        bits = self._bits
+        return 0 <= byte < len(bits) and bits[byte] >> (seq & 7) & 1 == 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[int]:
+        for byte_index, byte in enumerate(self._bits):
+            if byte:
+                base = byte_index << 3
+                for bit in range(8):
+                    if byte >> bit & 1:
+                        yield base + bit
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SeqSet):
+            return self._len == other._len and set(self) == set(other)
+        if isinstance(other, (set, frozenset)):
+            return self._len == len(other) and set(self) == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment] — mutable, like set
+
+    def __rsub__(self, other: set) -> set:
+        """``set - seqset`` (the invariant monitor's difference check)."""
+        return {seq for seq in other if seq not in self}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SeqSet({sorted(self)!r})"
+
+
+@dataclass(slots=True)
 class RequestState:
     """Recovery bookkeeping for one packet a host is missing.
 
@@ -42,7 +114,7 @@ class RequestState:
     requests_sent: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyState:
     """Reply bookkeeping for one packet at a host able to retransmit it.
 
@@ -75,13 +147,13 @@ class ReplyState:
         return now < self.hold_until
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamState:
     """Reception state for one source's data stream at one host."""
 
     max_seq: int = -1
-    received: set[int] = field(default_factory=set)
-    ever_lost: set[int] = field(default_factory=set)
+    received: SeqSet = field(default_factory=SeqSet)
+    ever_lost: SeqSet = field(default_factory=SeqSet)
     duplicates: int = 0
 
     def has(self, seq: int) -> bool:

@@ -41,8 +41,9 @@ Axes
 ``faults`` (path to a :class:`~repro.faults.FaultPlan` JSON file,
 resolved relative to the spec file, or an inline plan table; ``""`` =
 no faults), ``cache`` (a :mod:`repro.core.cachelab` policy spec string
-like ``lru:capacity=8``; ``""`` = the paper's default cache),
-``seed`` (folds into both the config seed and the trace
+like ``lru:capacity=8``; ``""`` = the paper's default cache), ``churn``
+(a :mod:`repro.churn` membership spec like ``churn:rate=0.5``; ``""`` =
+static membership), ``seed`` (folds into both the config seed and the trace
 synthesis seed, exactly like the CLI's ``--seed``), and — under
 ``grid.params`` / ``params`` / ``cases.params`` — any
 :class:`~repro.harness.config.SimulationConfig` field.
@@ -76,6 +77,7 @@ AXES = (
     "workload",
     "faults",
     "cache",
+    "churn",
     "seed",
     "max_packets",
 )
@@ -112,6 +114,8 @@ class SweepCase:
     faults: str
     #: Cache-policy spec (``""`` = the paper's default cache).
     cache: str
+    #: Membership-churn spec (``""`` = static membership).
+    churn: str
     seed: int
     max_packets: int | None
     #: Canonical JSON of the SimulationConfig overrides (sorted keys).
@@ -128,6 +132,7 @@ class SweepCase:
             "workload": self.workload,
             "faults": self.faults,
             "cache": self.cache,
+            "churn": self.churn,
             "seed": self.seed,
             "max_packets": self.max_packets,
             "params": self.params,
@@ -325,6 +330,14 @@ def _compile_point(
             compile_cache_policy(str(cache))
         except CacheError as exc:
             raise SweepError(f"{where}: {exc}") from None
+    churn = resolve("churn", "")
+    if churn:
+        from repro.churn import ChurnError, compile_churn
+
+        try:
+            compile_churn(str(churn))
+        except ChurnError as exc:
+            raise SweepError(f"{where}: {exc}") from None
     seed = resolve("seed", 0)
     max_packets = resolve("max_packets", DEFAULT_SWEEP_MAX_PACKETS)
     if not isinstance(seed, int) or isinstance(seed, bool):
@@ -356,6 +369,7 @@ def _compile_point(
             trace_max_packets=cap,
             faults=plan,
             workload=str(workload),
+            churn=str(churn or ""),
         )
     except ValueError as exc:
         raise SweepError(f"{where}: {exc}") from None
@@ -366,6 +380,7 @@ def _compile_point(
         workload=str(workload),
         faults=faults_label,
         cache=str(cache or ""),
+        churn=str(churn or ""),
         seed=seed,
         max_packets=cap,
         params=json.dumps(params, sort_keys=True),

@@ -15,8 +15,8 @@ Layout::
            created_at, updated_at)
     runs(sweep_digest, job_key,
          -- dimensions --
-         protocol, trace, workload, faults, cache, seed, max_packets,
-         params,
+         protocol, trace, workload, faults, cache, churn, seed,
+         max_packets, params,
          -- bookkeeping --
          status, cached, attempts, error, ingested_at,
          -- metrics --
@@ -25,14 +25,16 @@ Layout::
          expedited_success, expedited_fraction, retransmissions,
          multicast_control, unicast_control, events, sim_time, wall_time,
          cache_inserts, cache_evictions, cache_hit_rate,
+         n_receivers, churn_rate,
          PRIMARY KEY (sweep_digest, job_key))
 
 Writes are committed per row (WAL journal), so a ``kill -9`` mid-sweep
 leaves a readable store; re-ingesting a row is an idempotent
 ``INSERT OR REPLACE``.  Opening a store written by an older build
-migrates it in place: columns added since (the ``cache`` dimension, the
-``cache_*`` metrics) are ``ALTER TABLE``-ed on, with NULL/default
-values for pre-existing rows.
+migrates it in place: columns added since (the ``cache``/``churn``
+dimensions, the ``cache_*`` metrics, ``n_receivers``/``churn_rate``)
+are ``ALTER TABLE``-ed on, with NULL/default values for pre-existing
+rows.
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ DIMENSIONS = (
     "workload",
     "faults",
     "cache",
+    "churn",
     "seed",
     "max_packets",
     "params",
@@ -78,6 +81,8 @@ METRICS = (
     "cache_inserts",
     "cache_evictions",
     "cache_hit_rate",
+    "n_receivers",
+    "churn_rate",
 )
 
 #: Bookkeeping columns (queryable but not metrics).
@@ -100,6 +105,7 @@ _INT_COLUMNS = {
     "events",
     "cache_inserts",
     "cache_evictions",
+    "n_receivers",
 }
 _FLOAT_COLUMNS = {
     "avg_latency_rtt",
@@ -108,6 +114,7 @@ _FLOAT_COLUMNS = {
     "sim_time",
     "wall_time",
     "cache_hit_rate",
+    "churn_rate",
 }
 
 #: SQL aggregate per user-facing name.
@@ -159,6 +166,11 @@ def flatten_summary(summary: RunSummary) -> dict[str, Any]:
         "cache_inserts": cache.get("inserts"),
         "cache_evictions": cache.get("evictions"),
         "cache_hit_rate": cache.get("hit_rate"),
+        # Initial membership — the topology's scale point (a churn run's
+        # final membership is in the summary's churn block).
+        "n_receivers": len(receivers),
+        # NULL on static-membership runs (no churn block).
+        "churn_rate": (summary.churn or {}).get("rate"),
     }
 
 
@@ -207,6 +219,7 @@ class SweepStore:
                 workload TEXT NOT NULL DEFAULT '',
                 faults TEXT NOT NULL DEFAULT '',
                 cache TEXT NOT NULL DEFAULT '',
+                churn TEXT NOT NULL DEFAULT '',
                 seed INTEGER NOT NULL,
                 max_packets INTEGER,
                 params TEXT NOT NULL DEFAULT '{{}}',
@@ -231,17 +244,20 @@ class SweepStore:
         current column set.
 
         ``CREATE TABLE IF NOT EXISTS`` never alters an existing table, so
-        a store written before the ``cache`` dimension / ``cache_*``
-        metrics existed would otherwise break every INSERT.  Missing
-        columns are added in place: the dimension defaults to ``''``
-        (pre-cachelab rows ran the default policy), metric columns to
-        NULL (the stats were never collected).
+        a store written before the ``cache``/``churn`` dimensions or the
+        later metric columns existed would otherwise break every INSERT.
+        Missing columns are added in place: dimensions default to ``''``
+        (pre-existing rows ran the default policy / static membership),
+        metric columns to NULL (the stats were never collected).
         """
         existing = {
             row[1]
             for row in self._conn.execute("PRAGMA table_info(runs)").fetchall()
         }
-        wanted: list[tuple[str, str]] = [("cache", "TEXT NOT NULL DEFAULT ''")]
+        wanted: list[tuple[str, str]] = [
+            ("cache", "TEXT NOT NULL DEFAULT ''"),
+            ("churn", "TEXT NOT NULL DEFAULT ''"),
+        ]
         wanted += [
             (name, "REAL" if name in _FLOAT_COLUMNS else "INTEGER")
             for name in METRICS

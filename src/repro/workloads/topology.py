@@ -1,97 +1,42 @@
-"""Generative topology families: trace names that build their own tree.
+"""Compatibility shim: generative topologies now live in
+:mod:`repro.net.families`.
 
-The 14 Yajnik receiver sets are measurements; this module adds the first
-*generative* family so workloads can run beyond them (ROADMAP item 1's
-down-payment).  A topology spec reuses the workload grammar and rides in
-the ``trace`` slot of a :class:`~repro.exec.jobs.RunJob`::
-
-    tree:depth=3,fanout=4              # 64 receivers, balanced
-    tree:depth=2,fanout=2,loss=0.08    # lossier variant
-    cesrm run --trace tree:depth=3,fanout=2 --workload zipf:alpha=1.1
-
-Names containing ``:`` are routed here (:func:`is_topology_spec`); plain
-names keep resolving through :func:`~repro.traces.yajnik.trace_meta`, so
-every pre-existing spec string is untouched.  The tree comes from
-:func:`~repro.net.topology.build_balanced_tree` (and therefore carries
-the integer-indexed :class:`~repro.net.index.TopologyIndex` like every
-other tree); losses are synthesized by the calibrated Gilbert machinery
-over the prebuilt tree (:func:`~repro.traces.synthesize.synthesize_on_tree`),
-deterministic in ``(spec, seed, max_packets)``.
+The first generative family (``tree:``) grew up here before topology
+families became a registry; every public name keeps working, and the
+historical contract — these helpers raise
+:class:`~repro.workloads.registry.WorkloadError` — is preserved by
+translating :class:`~repro.net.families.TopologyError` at the boundary.
+New call sites should import from :mod:`repro.net.families` directly
+(and catch ``TopologyError``).
 """
 
 from __future__ import annotations
 
-from repro.net.topology import MulticastTree, build_balanced_tree
+from repro.net import families as _families
+from repro.net.families import TREE_DEFAULTS, TopologyError, is_topology_spec
+from repro.net.topology import MulticastTree
 from repro.traces.model import SyntheticTrace
-from repro.traces.synthesize import SynthesisParams, synthesize_on_tree
-from repro.workloads.registry import (
-    WorkloadError,
-    canonical_spec,
-    parse_spec,
-)
+from repro.workloads.registry import WorkloadError
 
-#: Registered generative topology families (family -> builder).
-TOPOLOGY_FAMILIES = ("tree",)
-
-#: Defaults for the ``tree`` family (also the documented grammar).
-TREE_DEFAULTS = {
-    "depth": "3",
-    "fanout": "2",
-    "loss": "0.05",
-    "period": "0.08",
-    "packets": "1000",
-}
-
-
-def is_topology_spec(name: str) -> bool:
-    """True when ``name`` is a generative topology spec rather than a
-    Yajnik trace name (the router: a ``family:`` prefix we know)."""
-    family, _, rest = name.partition(":")
-    return bool(rest) and family.strip() in TOPOLOGY_FAMILIES
+#: Registered generative topology families, in registration order.
+TOPOLOGY_FAMILIES = _families.topology_names()
 
 
 def parse_topology_spec(spec: str) -> dict[str, str]:
-    """Validate a ``tree:`` spec and return its full parameter mapping
+    """Validate a topology spec and return its full parameter mapping
     (defaults filled in, unknown keys rejected)."""
-    family, params = parse_spec(spec)
-    if family not in TOPOLOGY_FAMILIES:
-        raise WorkloadError(
-            f"unknown topology family {family!r}; known: {TOPOLOGY_FAMILIES}"
-        )
-    unknown = set(params) - set(TREE_DEFAULTS)
-    if unknown:
-        raise WorkloadError(
-            f"unknown parameter(s) {sorted(unknown)} for topology {family!r}"
-        )
-    merged = dict(TREE_DEFAULTS)
-    merged.update(params)
     try:
-        depth = int(merged["depth"])
-        fanout = int(merged["fanout"])
-        packets = int(merged["packets"])
-        loss = float(merged["loss"])
-        period = float(merged["period"])
-    except ValueError as exc:
-        raise WorkloadError(f"malformed topology spec {spec!r}: {exc}") from None
-    if depth < 1 or fanout < 1:
-        raise WorkloadError(f"topology {spec!r}: depth and fanout must be >= 1")
-    if fanout ** depth > 4096:
-        raise WorkloadError(
-            f"topology {spec!r}: {fanout ** depth} receivers is unreasonably large"
-        )
-    if not (0.0 < loss < 1.0):
-        raise WorkloadError(f"topology {spec!r}: loss must be in (0, 1)")
-    if period <= 0 or packets < 1:
-        raise WorkloadError(f"topology {spec!r}: period/packets must be positive")
-    return merged
+        return _families.parse_topology_spec(spec)
+    except TopologyError as exc:
+        raise WorkloadError(str(exc)) from None
 
 
 def build_topology(spec: str) -> MulticastTree:
     """Build the multicast tree a topology spec describes."""
-    params = parse_topology_spec(spec)
-    return build_balanced_tree(
-        branching=int(params["fanout"]), depth=int(params["depth"])
-    )
+    try:
+        return _families.build_topology(spec)
+    except TopologyError as exc:
+        raise WorkloadError(str(exc)) from None
 
 
 def synthesize_topology_trace(
@@ -99,29 +44,14 @@ def synthesize_topology_trace(
     seed: int = 0,
     max_packets: int | None = None,
 ) -> SyntheticTrace:
-    """Synthesize a calibrated loss trace over a generative topology.
-
-    The trace is named by the *canonical* spec so equivalent spellings
-    (parameter order) share one identity; the loss target is
-    ``loss · packets · receivers``, scaled down with ``max_packets``
-    exactly like the Yajnik replay caps.
-    """
-    params = parse_topology_spec(spec)
-    tree = build_topology(spec)
-    n_packets = int(params["packets"])
-    if max_packets is not None and max_packets < n_packets:
-        n_packets = max_packets
-    target = max(1, round(float(params["loss"]) * n_packets * len(tree.receivers)))
-    family, raw = parse_spec(spec)
-    synth_params = SynthesisParams(
-        name=canonical_spec(family, raw),
-        n_receivers=len(tree.receivers),
-        tree_depth=tree.depth,
-        period=float(params["period"]),
-        n_packets=n_packets,
-        target_losses=target,
-    )
-    return synthesize_on_tree(tree, synth_params, seed=seed)
+    """Synthesize a loss trace over a generative topology (see
+    :func:`repro.net.families.synthesize_topology_trace`)."""
+    try:
+        return _families.synthesize_topology_trace(
+            spec, seed=seed, max_packets=max_packets
+        )
+    except TopologyError as exc:
+        raise WorkloadError(str(exc)) from None
 
 
 __all__ = [
