@@ -14,6 +14,9 @@ what the stack actually sustains, in three sections:
   propagation-focused (per-link loss ~1e-9, so zero sampled losses):
   recovery traffic scales O(n^2) — every loss triggers request/reply
   multicasts fanned to all n members — and is measured separately.
+  ``scale_curve_vector`` repeats the series under ``kernel="vector"``
+  (kernel v2 delivery waves) so the trajectory shows the batching
+  payoff at 10^5 receivers; both curves must agree on event counts.
 
 * ``expedited_advantage`` — CESRM vs SRM on the same lossy trace at the
   scales where SRM's global suppression is still affordable to
@@ -99,11 +102,13 @@ from repro.harness.runner import run_trace
 from repro.metrics.memory import peak_rss_mb
 from repro.workloads.topology import synthesize_topology_trace
 
-spec, packets = sys.argv[1], int(sys.argv[2])
+spec, packets, kernel = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 t0 = time.perf_counter()
 trace = synthesize_topology_trace(spec, seed=0, max_packets=packets)
 synth_s = time.perf_counter() - t0
-config = SimulationConfig(max_packets=packets, prime_distances=True, drain_time=2.0)
+config = SimulationConfig(
+    max_packets=packets, prime_distances=True, drain_time=2.0, kernel=kernel
+)
 t0 = time.perf_counter()
 result = run_trace(trace, "cesrm", config)
 wall_s = time.perf_counter() - t0
@@ -135,13 +140,13 @@ def _child_env() -> dict[str, str]:
     return env
 
 
-def test_scale_curve():
+def _run_curve(kernel: str) -> list[dict]:
     points = [(n, spec) for n, spec in SCALE_POINTS if n <= max_receivers()]
     assert points, "REPRO_SCALE_MAX_RECEIVERS excludes every scale point"
     curve = []
     for n, spec in points:
         proc = subprocess.run(
-            [sys.executable, "-c", _CHILD, spec, str(PACKETS)],
+            [sys.executable, "-c", _CHILD, spec, str(PACKETS), kernel],
             capture_output=True,
             text=True,
             env=_child_env(),
@@ -155,7 +160,25 @@ def test_scale_curve():
         curve.append(row)
     # events/sec must not collapse at scale (heap growth is logarithmic)
     assert curve[-1]["events_per_sec"] > curve[0]["events_per_sec"] / 10
-    RESULTS["scale_curve"] = curve
+    return curve
+
+
+def test_scale_curve():
+    RESULTS["scale_curve"] = _run_curve("python")
+
+
+def test_scale_curve_vector():
+    """The same series under ``kernel=\"vector\"`` — the scale payoff of
+    wave batching.  Event counts must match the python curve point for
+    point (waves fold arrivals but still count them), and the top point
+    must be faster than its python twin."""
+    curve = _run_curve("vector")
+    RESULTS["scale_curve_vector"] = curve
+    python_curve = RESULTS.get("scale_curve")
+    if python_curve:  # section ordering: python curve runs first
+        for py_row, vec_row in zip(python_curve, curve):
+            assert vec_row["events"] == py_row["events"], vec_row["spec"]
+        assert curve[-1]["wall_s"] < python_curve[-1]["wall_s"]
 
 
 def _recovery_stats(result) -> dict:

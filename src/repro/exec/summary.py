@@ -36,16 +36,19 @@ SCHEMA_VERSION = 1
 def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
     """``SimulationConfig`` (with nested ``SrmParams``) as plain JSON data.
 
-    The ``cache`` policy spec is omitted when default (``""``) and
-    ``prime_distances`` when False, so default-config job keys and
-    summaries stay byte-identical to earlier builds — the same
-    discipline as the optional ``faults``/``workload`` summary blocks.
+    The ``cache`` policy spec is omitted when default (``""``),
+    ``prime_distances`` when False, and ``kernel`` when ``"python"``, so
+    default-config job keys and summaries stay byte-identical to earlier
+    builds — the same discipline as the optional ``faults``/``workload``
+    summary blocks.
     """
     data = asdict(config)
     if not data["cache"]:
         del data["cache"]
     if not data["prime_distances"]:
         del data["prime_distances"]
+    if data["kernel"] == "python":
+        del data["kernel"]
     return data
 
 
@@ -56,6 +59,7 @@ def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
     payload["params"] = SrmParams(**payload["params"])
     payload.setdefault("cache", "")
     payload.setdefault("prime_distances", False)
+    payload.setdefault("kernel", "python")
     return SimulationConfig(**payload)
 
 

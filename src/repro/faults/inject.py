@@ -82,6 +82,10 @@ def trace_drop_rule(link_combos: Mapping[int, frozenset[LinkId]]) -> HopRule:
     # Declares the rule a pure function of DATA packets only: the network's
     # hot path may skip consulting the injector for other kinds entirely.
     rule.data_only = True
+    # Exposes the drop table itself: the vector kernel batches these
+    # deterministic per-seqno drops as one array membership test instead
+    # of a per-hop call (repro.net.vector).
+    rule.link_combos = link_combos
     return rule
 
 

@@ -217,6 +217,7 @@ def build_simulation(
         tree,
         propagation_delay=config.propagation_delay,
         bandwidth_bps=config.bandwidth_bps,
+        kernel=config.kernel,
     )
     # Loss injection (§4.3): the trace replay and the lossy-recovery
     # ablation are hop rules of the same injector that executes the plan.

@@ -184,6 +184,7 @@ class Network:
         tree: MulticastTree,
         propagation_delay: float = 0.020,
         bandwidth_bps: float = 1.5e6,
+        kernel: str = "python",
     ) -> None:
         self.sim = sim
         self.tree = tree
@@ -239,6 +240,19 @@ class Network:
             tuple(hop_record[node << _HOP_SHIFT | nb] for nb in index.neighbors[node])
             for node in range(n)
         ]
+        #: Kernel v2 (``kernel="vector"``): delegate the send primitives to
+        #: the numpy delivery-wave engine.  None — the default — keeps the
+        #: pure-python per-hop path, the oracle the vector kernel is
+        #: byte-equivalence-tested against.
+        self._vk = None
+        if kernel == "vector":
+            from repro.net.vector import VectorKernel
+
+            self._vk = VectorKernel(self)
+        elif kernel != "python":
+            raise ValueError(
+                f"unknown kernel {kernel!r} (expected 'python' or 'vector')"
+            )
 
     # ------------------------------------------------------------------
     # Attachment
@@ -293,6 +307,12 @@ class Network:
             hop_record[u << _HOP_SHIFT | v] = (v, names[u], names[v], link)
         self._rebuild_adjacency(nid)
         self._rebuild_adjacency(pid)
+        if self._vk is not None:
+            # Fresh links get fresh columnar state too: dropping the hop
+            # keys forces the rejoined edges to intern new zeroed ids.
+            self._vk.invalidate(
+                pid << _HOP_SHIFT | nid, nid << _HOP_SHIFT | pid
+            )
         return nid
 
     def detach_subtree(self, name: str) -> tuple[str, ...]:
@@ -316,12 +336,19 @@ class Network:
             for u, v in ((prid, rid), (rid, prid)):
                 self._links.pop((names[u], names[v]), None)
                 hop_record.pop(u << _HOP_SHIFT | v, None)
+                if self._vk is not None:
+                    self._vk.invalidate(u << _HOP_SHIFT | v)
         self._rebuild_adjacency(pid)
         return removed
 
     def link_state(self, u: str, v: str) -> LinkState:
         """The directed link state for the hop ``u -> v``."""
-        return self._links[(u, v)]
+        link = self._links[(u, v)]
+        if self._vk is not None:
+            # Vector mode: the columnar arrays are the live authority;
+            # sync the legacy object on read.
+            self._vk.sync_link(self._ids[u], self._ids[v], link)
+        return link
 
     # ------------------------------------------------------------------
     # Latency helpers
@@ -345,7 +372,10 @@ class Network:
         if self.sim.tracer is not None:
             self._trace_send(packet)
         slot = _KIND_INDEX[packet.kind] * _N_CAST + _MULTICAST_COL
-        self._flood(self._ids[packet.origin], -1, packet, slot)
+        if self._vk is not None:
+            self._vk.flood_from(self._ids[packet.origin], packet, slot)
+        else:
+            self._flood(self._ids[packet.origin], -1, packet, slot)
         return packet
 
     def unicast(self, dest: str, packet: Packet) -> Packet:
@@ -366,7 +396,10 @@ class Network:
             return packet
         slot = _KIND_INDEX[packet.kind] * _N_CAST + _UNICAST_COL
         path = self._index.path_ints(self._ids[packet.origin], dest_id)
-        self._unicast_transmit(path, 0, packet, False, slot)
+        if self._vk is not None:
+            self._vk.unicast_transmit(path, 0, packet, False, slot)
+        else:
+            self._unicast_transmit(path, 0, packet, False, slot)
         return packet
 
     def unicast_then_subcast(self, turning_point: str, packet: Packet) -> Packet:
@@ -379,6 +412,13 @@ class Network:
             self._trace_send(packet, turning_point=turning_point)
         slot = _KIND_INDEX[packet.kind] * _N_CAST + _SUBCAST_COL
         origin_id = self._ids[packet.origin]
+        if self._vk is not None:
+            if turning_point == packet.origin:
+                self._vk.subcast_from(origin_id, packet, origin_id, slot)
+                return packet
+            path = self._index.path_ints(origin_id, self._ids[turning_point])
+            self._vk.unicast_transmit(path, 0, packet, True, slot)
+            return packet
         if turning_point == packet.origin:
             self._subcast_from(origin_id, packet, origin_id, slot)
             return packet

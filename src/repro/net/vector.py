@@ -1,0 +1,704 @@
+"""Kernel v2: batched delivery waves on numpy columnar link state.
+
+The pure-python kernel (:mod:`repro.net.network`) processes one hop
+arrival per engine event: pop an entry, deliver to the node's agent,
+enqueue each outgoing hop on its :class:`~repro.net.link.LinkState`, and
+schedule one new entry per hop.  At 10^5 receivers a single data packet
+is ~2·10^5 events, each paying python-level attribute and dict traffic.
+
+This module processes *delivery waves* instead.  A wave is every hop
+arrival of one packet that lands at one instant — on a depth-synchronised
+tree flood that is an entire frontier.  One bucket entry carries the
+frontier as int32 ndarrays; firing it
+
+1. expands the frontier against a CSR adjacency built from the network's
+   interned hop records (rows in exact ``_adj`` order, so hop order is
+   byte-identical to the python kernel's loop),
+2. draws the per-hop deterministic trace losses as one ``np.isin`` over
+   per-seqno edge-id arrays,
+3. advances every crossed link's columnar state (``busy_until``,
+   queueing, counters) with elementwise float64 ops in the python
+   kernel's exact float-op order, and
+4. groups the resulting arrival instants into the next waves.
+
+Equivalence discipline
+----------------------
+
+The vector kernel is an *optimisation of event mechanics only*: every
+observable — metrics, crossings, RNG draw order, trace events, fault
+counters, summary bytes — must match the python kernel exactly
+(``tests/test_kernel_equivalence.py`` gates this).  Two rules keep that
+true:
+
+* **Single authority.**  In vector mode the columnar arrays are the only
+  live link state; every send primitive (multicast, unicast, subcast)
+  runs on them.  ``Network.link_state`` syncs the legacy ``LinkState``
+  object from the columns on read.
+* **Fast path only when invisible.**  Vectorised processing is used only
+  when nothing can observe per-hop ordering: no tracer, no ``drop_fn``,
+  no active outage, and every fault rule a recognised deterministic
+  trace-drop table (``rule.link_combos``).  Anything else — stochastic
+  duplicate/reorder rules, link outages, traced runs — falls back to a
+  scalar per-hop path that replicates ``Network._transmit`` on the
+  columns, preserving draw order, counter order, and trace emission
+  order bit for bit.
+
+Why the reordering inside a fast wave is safe: flood deliveries never
+send synchronously (receive paths only arm jittered timers), a tree
+flood crosses each directed edge at most once per packet, and zero-delay
+timers append to the *current* bucket — after the wave entry — in both
+kernels.  See docs/performance.md ("Kernel v2") for the full argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.net.network import (
+    _DATA_KIND,
+    _HOP_SHIFT,
+    _SLOT_COL,
+    _SLOT_ROW,
+)
+
+
+class VectorKernel:
+    """Numpy delivery-wave forwarding engine for one :class:`Network`.
+
+    Constructed by ``Network(..., kernel="vector")``; the network keeps
+    owning topology, agents, counters, and tracing, and delegates the
+    three send primitives here.
+    """
+
+    def __init__(self, net: Any) -> None:
+        self.net = net
+        self.sim = net.sim
+        # -- columnar link state (edge-id indexed) ---------------------
+        #: hop key (``u << _HOP_SHIFT | v``) -> edge id.  Ids are
+        #: append-only: a detached hop's key is deleted and a rejoining
+        #: receiver interns *fresh* ids, matching the python kernel's
+        #: fresh ``LinkState`` on re-attach.
+        self._edge_of: dict[int, int] = {}
+        self._n_edges = 0
+        self._cap = 0
+        self._busy = np.zeros(0, dtype=np.float64)
+        self._qd = np.zeros(0, dtype=np.float64)
+        self._pkts = np.zeros(0, dtype=np.int64)
+        self._bytes = np.zeros(0, dtype=np.int64)
+        # -- CSR adjacency (rebuilt lazily after churn) ----------------
+        self._dirty = True
+        self._ptr = np.zeros(1, dtype=np.int64)
+        self._adj_to = np.zeros(0, dtype=np.int32)
+        self._adj_edge = np.zeros(0, dtype=np.int32)
+        self._cptr = np.zeros(1, dtype=np.int64)
+        self._cadj_to = np.zeros(0, dtype=np.int32)
+        self._cadj_edge = np.zeros(0, dtype=np.int32)
+        # -- per-seqno trace-drop edge sets (cleared on rebuild) -------
+        self._drop_cache: dict[int, np.ndarray | None] = {}
+        # -- recognised fault rules (see _fast_ok) ---------------------
+        self._rules_src: Any = None
+        self._rules_len = -1
+        self._rules_combos: tuple | None = ()
+
+    # ------------------------------------------------------------------
+    # Columnar link state
+    # ------------------------------------------------------------------
+    def _grow(self, need: int) -> None:
+        cap = max(64, self._cap * 2)
+        while cap < need:
+            cap *= 2
+        for name in ("_busy", "_qd", "_pkts", "_bytes"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=old.dtype)
+            new[: self._n_edges] = old[: self._n_edges]
+            setattr(self, name, new)
+        self._cap = cap
+
+    def _intern(self, key: int) -> int:
+        eid = self._edge_of.get(key)
+        if eid is None:
+            eid = self._n_edges
+            if eid >= self._cap:
+                self._grow(eid + 1)
+            self._edge_of[key] = eid
+            self._n_edges = eid + 1
+        return eid
+
+    def invalidate(self, *stale_keys: int) -> None:
+        """Topology changed (churn): forget ``stale_keys``' edge ids so a
+        re-attached hop interns fresh zeroed state, and mark the CSR for
+        lazy rebuild."""
+        for key in stale_keys:
+            self._edge_of.pop(key, None)
+        self._dirty = True
+
+    def sync_link(self, u_id: int, v_id: int, link: Any) -> None:
+        """Copy a hop's columnar state into its legacy ``LinkState`` (the
+        ``Network.link_state`` read path)."""
+        if self._dirty:
+            self._rebuild()
+        eid = self._edge_of.get(u_id << _HOP_SHIFT | v_id)
+        if eid is None:
+            return
+        link.busy_until = float(self._busy[eid])
+        link.queueing_delay_total = float(self._qd[eid])
+        link.packets_carried = int(self._pkts[eid])
+        link.bytes_carried = int(self._bytes[eid])
+
+    # ------------------------------------------------------------------
+    # CSR adjacency
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Rebuild both CSR tables from the network's live adjacency (the
+        single source of truth under membership churn).  Row order equals
+        ``_adj`` iteration order, so vectorised hop order is exactly the
+        python kernel's loop order."""
+        net = self.net
+        for adj, ptr_name, to_name, edge_name in (
+            (net._adj, "_ptr", "_adj_to", "_adj_edge"),
+            (net._child_adj, "_cptr", "_cadj_to", "_cadj_edge"),
+        ):
+            n = len(adj)
+            total = sum(len(records) for records in adj)
+            ptr = np.zeros(n + 1, dtype=np.int64)
+            adj_to = np.empty(total, dtype=np.int32)
+            adj_edge = np.empty(total, dtype=np.int32)
+            i = 0
+            for node, records in enumerate(adj):
+                ptr[node] = i
+                for record in records:
+                    to = record[0]
+                    adj_to[i] = to
+                    adj_edge[i] = self._intern(node << _HOP_SHIFT | to)
+                    i += 1
+            ptr[n] = i
+            setattr(self, ptr_name, ptr)
+            setattr(self, to_name, adj_to)
+            setattr(self, edge_name, adj_edge)
+        self._drop_cache.clear()
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Fast-path eligibility
+    # ------------------------------------------------------------------
+    def _fast_ok(self, packet: Any) -> bool:
+        """True when vectorised processing is observably identical to the
+        per-hop path for this packet *now* (see module docstring)."""
+        net = self.net
+        if net.drop_fn is not None or self.sim.tracer is not None:
+            return False
+        faults = net.faults
+        if faults is None:
+            return True
+        if faults._down or not faults._rules_data_only:
+            return False
+        if packet.kind is not _DATA_KIND:
+            # The network's own gate skips on_hop entirely here.
+            return True
+        rules = faults._hop_rules
+        if rules is not self._rules_src or len(rules) != self._rules_len:
+            combos: list | None = []
+            for rule in rules:
+                table = getattr(rule, "link_combos", None)
+                if table is None:
+                    combos = None
+                    break
+                combos.append(table)
+            self._rules_src = rules
+            self._rules_len = len(rules)
+            self._rules_combos = None if combos is None else tuple(combos)
+        return self._rules_combos is not None
+
+    def _drop_edges(self, seqno: int) -> np.ndarray | None:
+        """Edge ids on which DATA packet ``seqno`` deterministically dies
+        (union over recognised trace-drop rules); None when it crosses
+        everything.  Cached per seqno until the next CSR rebuild."""
+        cache = self._drop_cache
+        if seqno in cache:
+            return cache[seqno]
+        ids = self.net._ids
+        edge_of = self._edge_of
+        eids: set[int] = set()
+        for table in self._rules_combos:  # type: ignore[union-attr]
+            for u, v in table.get(seqno, ()):
+                eid = edge_of.get(ids[u] << _HOP_SHIFT | ids[v])
+                if eid is not None:  # detached hops are never crossed
+                    eids.add(eid)
+        arr = (
+            np.fromiter(eids, dtype=np.int32, count=len(eids)) if eids else None
+        )
+        cache[seqno] = arr
+        return arr
+
+    # ------------------------------------------------------------------
+    # Entry points (called by Network's send primitives)
+    # ------------------------------------------------------------------
+    def flood_from(self, origin: int, packet: Any, slot: int) -> None:
+        """The synchronous half of ``Network.multicast``."""
+        self._forward_flood_one(origin, -1, packet, slot)
+
+    def subcast_from(self, router: int, packet: Any, origin: int, slot: int) -> None:
+        self._forward_subcast_one(router, packet, origin, slot)
+
+    def unicast_transmit(
+        self,
+        path: tuple[int, ...],
+        index: int,
+        packet: Any,
+        then_subcast: bool,
+        slot: int,
+    ) -> None:
+        """Mirror of ``Network._unicast_transmit`` on the columns: unicast
+        is a single chain of hops, inherently scalar."""
+        if self._dirty:
+            self._rebuild()
+        u = path[index]
+        v = path[index + 1]
+        eid = self._edge_of.get(u << _HOP_SHIFT | v)
+        if eid is None:
+            # The next hop detached mid-flight (membership churn).
+            self.net.packets_dropped += 1
+            return
+        self._transmit_one(
+            eid,
+            u,
+            v,
+            packet,
+            slot,
+            self._unicast_arrival,
+            (path, index, packet, then_subcast, slot),
+        )
+
+    def _unicast_arrival(
+        self,
+        path: tuple[int, ...],
+        index: int,
+        packet: Any,
+        then_subcast: bool,
+        slot: int,
+    ) -> None:
+        net = self.net
+        if index + 2 < len(path):
+            self.unicast_transmit(path, index + 1, packet, then_subcast, slot)
+            return
+        node = path[index + 1]
+        if then_subcast:
+            self._forward_subcast_one(
+                node, packet, net._ids[packet.origin], slot
+            )
+            return
+        agent = net._agents_by_id[node]
+        if agent is None:
+            if node in net._detached_ids:
+                net.packets_dropped += 1
+                return
+            raise RuntimeError(
+                f"unicast destination {net._names[node]!r} has no agent"
+            )
+        net._deliver(node, agent, packet)
+
+    # ------------------------------------------------------------------
+    # Wave callbacks (fired as raw engine entries)
+    # ------------------------------------------------------------------
+    def _wave_flood(
+        self, packet: Any, slot: int, to_ids: np.ndarray, from_ids: np.ndarray
+    ) -> None:
+        sim = self.sim
+        # One engine event stands in for len(wave) python-kernel arrivals.
+        sim._events_processed += len(to_ids) - 1
+        if self._dirty:
+            self._rebuild()
+        net = self.net
+        if self._fast_ok(packet):
+            hop_from, hop_to, hop_edge = self._expand_flood(to_ids, from_ids)
+            if hop_edge is not None:
+                self._transmit_fast(packet, slot, hop_from, hop_to, hop_edge, -1)
+            agents = net._agents_by_id
+            delivered = 0
+            for node in to_ids.tolist():
+                agent = agents[node]
+                if agent is not None:
+                    delivered += 1
+                    agent.receive(packet)
+            net.packets_delivered += delivered
+        else:
+            # Per-arrival scalar replay, in exact bucket order: deliver,
+            # then expand hop by hop (draw order, counters, traces).
+            for node, frm in zip(to_ids.tolist(), from_ids.tolist()):
+                self._arrival_flood(node, frm, packet, slot)
+
+    def _wave_subcast(
+        self, packet: Any, slot: int, origin: int, to_ids: np.ndarray
+    ) -> None:
+        sim = self.sim
+        sim._events_processed += len(to_ids) - 1
+        if self._dirty:
+            self._rebuild()
+        net = self.net
+        if self._fast_ok(packet):
+            hop_from, hop_to, hop_edge = self._expand_subcast(to_ids)
+            if hop_edge is not None:
+                self._transmit_fast(
+                    packet, slot, hop_from, hop_to, hop_edge, origin
+                )
+            agents = net._agents_by_id
+            delivered = 0
+            for node in to_ids.tolist():
+                agent = agents[node]
+                if agent is not None and node != origin:
+                    delivered += 1
+                    agent.receive(packet)
+            net.packets_delivered += delivered
+        else:
+            for node in to_ids.tolist():
+                self._arrival_subcast(node, packet, origin, slot)
+
+    # ------------------------------------------------------------------
+    # Scalar arrivals (mirrors of the python kernel's callbacks)
+    # ------------------------------------------------------------------
+    def _arrival_flood(
+        self, node: int, from_node: int, packet: Any, slot: int
+    ) -> None:
+        net = self.net
+        agent = net._agents_by_id[node]
+        if agent is not None:
+            net.packets_delivered += 1
+            if self.sim.tracer is not None:
+                net._trace_deliver(node, packet)
+            agent.receive(packet)
+        self._forward_flood_one(node, from_node, packet, slot)
+
+    def _arrival_subcast(
+        self, node: int, packet: Any, origin: int, slot: int
+    ) -> None:
+        net = self.net
+        agent = net._agents_by_id[node]
+        if agent is not None and node != origin:
+            net._deliver(node, agent, packet)
+        self._forward_subcast_one(node, packet, origin, slot)
+
+    # ------------------------------------------------------------------
+    # Single-node forwarding (initial sends and scalar arrivals)
+    # ------------------------------------------------------------------
+    def _forward_flood_one(
+        self, node: int, from_node: int, packet: Any, slot: int
+    ) -> None:
+        if self._dirty:
+            self._rebuild()
+        lo = self._ptr[node]
+        hi = self._ptr[node + 1]
+        if lo == hi:
+            return
+        if self._fast_ok(packet):
+            hop_to = self._adj_to[lo:hi]
+            hop_edge = self._adj_edge[lo:hi]
+            if from_node >= 0:
+                keep = hop_to != from_node
+                if not keep.all():
+                    hop_to = hop_to[keep]
+                    hop_edge = hop_edge[keep]
+                    if not len(hop_edge):
+                        return
+            hop_from = np.full(len(hop_to), node, dtype=np.int32)
+            self._transmit_fast(packet, slot, hop_from, hop_to, hop_edge, -1)
+        else:
+            adj_to = self._adj_to
+            adj_edge = self._adj_edge
+            for j in range(lo, hi):
+                to = int(adj_to[j])
+                if to != from_node:
+                    self._transmit_one(
+                        int(adj_edge[j]),
+                        node,
+                        to,
+                        packet,
+                        slot,
+                        self._arrival_flood,
+                        (to, node, packet, slot),
+                    )
+
+    def _forward_subcast_one(
+        self, node: int, packet: Any, origin: int, slot: int
+    ) -> None:
+        if self._dirty:
+            self._rebuild()
+        lo = self._cptr[node]
+        hi = self._cptr[node + 1]
+        if lo == hi:
+            return
+        if self._fast_ok(packet):
+            hop_to = self._cadj_to[lo:hi]
+            hop_edge = self._cadj_edge[lo:hi]
+            hop_from = np.full(len(hop_to), node, dtype=np.int32)
+            self._transmit_fast(packet, slot, hop_from, hop_to, hop_edge, origin)
+        else:
+            adj_to = self._cadj_to
+            adj_edge = self._cadj_edge
+            for j in range(lo, hi):
+                to = int(adj_to[j])
+                self._transmit_one(
+                    int(adj_edge[j]),
+                    node,
+                    to,
+                    packet,
+                    slot,
+                    self._arrival_subcast,
+                    (to, packet, origin, slot),
+                )
+
+    # ------------------------------------------------------------------
+    # Vectorised expansion
+    # ------------------------------------------------------------------
+    def _expand_flood(self, to_ids, from_ids):
+        """Gather every outgoing hop of the frontier, excluding each
+        node's arrival link — node-major, adjacency order, i.e. exactly
+        the order the python kernel's nested loops enqueue them."""
+        ptr = self._ptr
+        counts = ptr[to_ids + 1] - ptr[to_ids]
+        total = int(counts.sum())
+        if total == 0:
+            return None, None, None
+        cum = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            cum - counts, counts
+        )
+        pos = np.repeat(ptr[to_ids], counts) + offsets
+        hop_to = self._adj_to[pos]
+        hop_edge = self._adj_edge[pos]
+        hop_from = np.repeat(to_ids, counts)
+        keep = hop_to != np.repeat(from_ids, counts)
+        if not keep.all():
+            hop_to = hop_to[keep]
+            hop_edge = hop_edge[keep]
+            hop_from = hop_from[keep]
+            if not len(hop_edge):
+                return None, None, None
+        return hop_from, hop_to, hop_edge
+
+    def _expand_subcast(self, to_ids):
+        ptr = self._cptr
+        counts = ptr[to_ids + 1] - ptr[to_ids]
+        total = int(counts.sum())
+        if total == 0:
+            return None, None, None
+        cum = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            cum - counts, counts
+        )
+        pos = np.repeat(ptr[to_ids], counts) + offsets
+        return np.repeat(to_ids, counts), self._cadj_to[pos], self._cadj_edge[pos]
+
+    # ------------------------------------------------------------------
+    # Vectorised transmission
+    # ------------------------------------------------------------------
+    def _transmit_fast(
+        self,
+        packet: Any,
+        slot: int,
+        hop_from: np.ndarray,
+        hop_to: np.ndarray,
+        hop_edge: np.ndarray,
+        subcast_origin: int,
+    ) -> None:
+        """Cross every hop at once.  Within one wave every directed edge
+        appears at most once (tree flood), so the elementwise column
+        updates are exact replays of per-hop sequential updates."""
+        net = self.net
+        n_hops = len(hop_edge)
+        # Crossings count before loss, exactly like Network._transmit.
+        crossings = net.crossings
+        crossings._slots[slot] += n_hops
+        crossings._kind_counts[_SLOT_ROW[slot]] += n_hops
+        crossings._cast_counts[_SLOT_COL[slot]] += n_hops
+        crossings._total += n_hops
+        # Deterministic trace losses (§4.3), batched.
+        if (
+            net.faults is not None
+            and packet.kind is _DATA_KIND
+            and self._rules_combos
+        ):
+            drops = self._drop_edges(packet.seqno)
+            if drops is not None:
+                dropped = np.isin(hop_edge, drops)
+                n_dropped = int(dropped.sum())
+                if n_dropped:
+                    net.packets_dropped += n_dropped
+                    keep = ~dropped
+                    hop_from = hop_from[keep]
+                    hop_to = hop_to[keep]
+                    hop_edge = hop_edge[keep]
+                    if not len(hop_edge):
+                        return
+        # Link math — float-op order identical to the inline enqueue in
+        # Network._transmit (all links share bandwidth, so tx is scalar).
+        sim = self.sim
+        now = sim._now
+        busy = self._busy[hop_edge]
+        start = np.maximum(busy, now)
+        self._qd[hop_edge] += start - now
+        size = packet.size_bytes
+        if size > 0:
+            end = start + size * 8.0 / net.bandwidth_bps
+            self._bytes[hop_edge] += size
+        else:
+            end = start
+        self._busy[hop_edge] = end
+        self._pkts[hop_edge] += 1
+        arrival = end + net.propagation_delay
+        self._schedule_waves(
+            packet, slot, subcast_origin, hop_to, hop_from, arrival
+        )
+
+    def _schedule_waves(
+        self,
+        packet: Any,
+        slot: int,
+        subcast_origin: int,
+        hop_to: np.ndarray,
+        hop_from: np.ndarray,
+        arrival: np.ndarray,
+    ) -> None:
+        """Group hops by arrival instant into wave entries.
+
+        Hops sharing an instant stay in hop order (stable grouping), so
+        the wave entry is byte-equivalent to the python kernel's
+        contiguous per-hop appends into that bucket.  Creation order
+        *across* distinct instants is immaterial — a bucket's heap
+        position depends only on its timestamp.
+        """
+        sim = self.sim
+        buckets = sim._buckets
+        flood = subcast_origin < 0
+        wave_cb = self._wave_flood if flood else self._wave_subcast
+        if arrival[0] == arrival[-1] and (arrival == arrival[0]).all():
+            groups = ((float(arrival[0]), slice(None)),)
+        else:
+            uniq, inverse = np.unique(arrival, return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            sizes = np.bincount(inverse)
+            times = uniq.tolist()
+            groups = []
+            offset = 0
+            for gi, t in enumerate(times):
+                sz = int(sizes[gi])
+                groups.append((t, order[offset : offset + sz]))
+                offset += sz
+        for t, idx in groups:
+            wt = hop_to[idx]
+            if flood:
+                args = (packet, slot, wt, hop_from[idx])
+            else:
+                args = (packet, slot, subcast_origin, wt)
+            bucket = buckets.get(t)
+            if bucket is not None:
+                bucket.append((wave_cb, args))
+            else:
+                sim.schedule_raw(t, wave_cb, args)
+
+    # ------------------------------------------------------------------
+    # Scalar transmission (exact mirror of Network._transmit on columns)
+    # ------------------------------------------------------------------
+    def _transmit_one(
+        self,
+        eid: int,
+        u_id: int,
+        v_id: int,
+        packet: Any,
+        slot: int,
+        on_arrival: Any,
+        args: tuple,
+    ) -> None:
+        net = self.net
+        names = net._names
+        u = names[u_id]
+        v = names[v_id]
+        crossings = net.crossings
+        crossings._slots[slot] += 1
+        crossings._kind_counts[_SLOT_ROW[slot]] += 1
+        crossings._cast_counts[_SLOT_COL[slot]] += 1
+        crossings._total += 1
+        sim = self.sim
+        tracer = sim.tracer
+        if net.drop_fn is not None and net.drop_fn(u, v, packet):
+            net._record_drop(u, v, packet, tracer)
+            return
+        duplicate = False
+        extra_delay = 0.0
+        faults = net.faults
+        if faults is not None and (
+            faults._down
+            or not faults._rules_data_only
+            or packet.kind is _DATA_KIND
+        ):
+            effect = faults.on_hop(u, v, packet)
+            if effect is not None:
+                if effect.drop:
+                    net._record_drop(u, v, packet, tracer)
+                    return
+                duplicate = effect.duplicate
+                extra_delay = effect.extra_delay
+        now = sim._now
+        busy = float(self._busy[eid])
+        if tracer is not None:
+            from repro.obs.events import EventKind
+
+            wait = busy - now
+            tracer.emit(
+                now,
+                EventKind.NET_HOP,
+                node=v,
+                source=packet.source,
+                seqno=packet.seqno,
+                pkt=packet.kind.value,
+                cast=packet.cast.value,
+                link=f"{u}->{v}",
+            )
+            if wait > 0:
+                tracer.emit(
+                    now,
+                    EventKind.NET_QUEUE,
+                    node=v,
+                    source=packet.source,
+                    seqno=packet.seqno,
+                    link=f"{u}->{v}",
+                    wait=wait,
+                )
+                tracer.observe("net.queueing_delay", wait)
+        start = busy if busy > now else now
+        size = packet.size_bytes
+        self._qd[eid] += start - now
+        if size > 0:
+            end = start + size * 8.0 / net.bandwidth_bps
+            self._bytes[eid] += size
+        else:
+            end = start
+        self._busy[eid] = end
+        self._pkts[eid] += 1
+        arrival = end + net.propagation_delay + extra_delay
+        bucket = sim._buckets.get(arrival)
+        if bucket is not None:
+            bucket.append((on_arrival, args))
+        else:
+            sim.schedule_raw(arrival, on_arrival, args)
+        if duplicate:
+            # The copy serialises behind the original, exactly like
+            # LinkState.enqueue would.
+            crossings.record_slot(slot)
+            start2 = end if end > now else now
+            self._qd[eid] += start2 - now
+            if size > 0:
+                tx = size * 8.0 / net.bandwidth_bps
+                self._bytes[eid] += size
+            else:
+                tx = 0.0
+            end2 = start2 + tx
+            self._busy[eid] = end2
+            self._pkts[eid] += 1
+            sim.schedule_raw(
+                end2 + net.propagation_delay + extra_delay, on_arrival, args
+            )
+
+
+__all__ = ["VectorKernel"]

@@ -40,6 +40,14 @@ class TestKey:
             != job(config=CFG.with_(policy="most-frequent")).key()
         )
 
+    def test_differs_by_kernel(self):
+        assert job().key() != job(config=CFG.with_(kernel="vector")).key()
+
+    def test_default_kernel_matches_pre_v2_key(self):
+        # selecting the python kernel explicitly must not perturb the
+        # cache key of runs executed before the kernel axis existed
+        assert job().key() == job(config=CFG.with_(kernel="python")).key()
+
     def test_differs_by_trace_shape(self):
         assert job().key() != job(trace_max_packets=300).key()
         assert job().key() != job(trace_seed=1).key()

@@ -48,6 +48,30 @@ class TestConfigSerialization:
         )
         assert config_from_dict(config_to_dict(config)) == config
 
+    def test_vector_kernel_round_trips(self):
+        config = SimulationConfig(kernel="vector")
+        data = config_to_dict(config)
+        assert data["kernel"] == "vector"
+        assert config_from_dict(data) == config
+
+    def test_default_kernel_omitted_from_wire(self):
+        # Pre-v2 digest stability: the default kernel never serializes.
+        assert "kernel" not in config_to_dict(SimulationConfig())
+        assert "kernel" not in config_to_dict(
+            SimulationConfig(kernel="python")
+        )
+
+    def test_pre_v2_wire_format_decodes_to_python_kernel(self):
+        """Wire-format versioning: entries serialized before the kernel
+        axis existed (no ``kernel`` key) decode to the python default."""
+        data = config_to_dict(SimulationConfig())
+        assert "kernel" not in data  # genuinely the old shape
+        assert config_from_dict(data).kernel == "python"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            SimulationConfig(kernel="cuda")
+
 
 class TestJsonRoundTrip:
     def test_summary_equality(self, result):
